@@ -1,0 +1,28 @@
+"""Ablations for DESIGN.md's design decisions (beyond the paper's figures)."""
+
+from repro.bench.experiments import ablations
+from repro.bench.reporting import format_table, print_experiment
+
+
+def test_ablations(bench_once):
+    rows = bench_once(ablations)
+    print_experiment("Ablations (engine design choices)", [format_table(rows)])
+
+    def series(name):
+        return {r["setting"]: r["runtime_s"] for r in rows if r["ablation"] == name}
+
+    merge = series("engine-merge")
+    assert merge["True"] < merge["False"]
+
+    running = series("max-running-vertices")
+    # §3.7: a larger merge window helps up to a plateau.
+    assert running["4000"] < running["100"]
+    assert abs(running["4000"] - running["1000"]) <= 0.2 * running["1000"]
+
+    vertical = series("vertical-partitioning")
+    # Splitting hub requests across threads must not hurt (it mildly
+    # helps: parts of a hub's neighbor reads run in parallel, §3.8).
+    assert vertical["threshold=512"] <= 1.05 * vertical["threshold=0"]
+
+    ssds = series("ssd-count")
+    assert ssds["15"] < ssds["1"]

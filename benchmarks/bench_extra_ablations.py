@@ -1,0 +1,72 @@
+"""Extra ablations: TurboGraph block sizes, cache policy, stragglers."""
+
+from repro.bench.extra_experiments import (
+    cache_policy_ablation,
+    straggler_experiment,
+    turbograph_comparison,
+)
+from repro.bench.reporting import format_table, print_experiment
+
+
+def test_turbograph_comparison(bench_once):
+    rows = bench_once(turbograph_comparison)
+    print_experiment(
+        "TurboGraph-style multi-megabyte blocks vs FlashGraph's 4KB pages "
+        "(the §5.4.2 argument, direct)",
+        [format_table(rows)],
+    )
+    for row in rows:
+        assert row["turbo_read_MB"] > row["fg_read_MB"], row
+        assert row["turbograph_s"] > row["flashgraph_s"], row
+
+
+def test_cache_policy_ablation(bench_once):
+    rows = bench_once(cache_policy_ablation)
+    print_experiment(
+        "SAFS page cache: eviction policy x associativity (WCC)",
+        [format_table(rows)],
+    )
+    # Both policies must produce sane hit rates; higher associativity
+    # should not hurt hit rates materially.
+    for row in rows:
+        assert 0.0 <= row["cache_hit"] <= 1.0
+    lru8 = next(r for r in rows if r["eviction"] == "lru" and r["associativity"] == 8)
+    gcl8 = next(
+        r for r in rows if r["eviction"] == "gclock" and r["associativity"] == 8
+    )
+    assert abs(lru8["cache_hit"] - gcl8["cache_hit"]) < 0.2
+
+
+def test_straggler_experiment(bench_once):
+    rows = bench_once(straggler_experiment)
+    print_experiment(
+        "Degraded-device resilience: BFS with N stragglers in the array",
+        [format_table(rows)],
+    )
+    by_count = {r["stragglers"]: r["runtime_s"] for r in rows}
+    # More stragglers, more pain; but one slow device out of 15 must not
+    # slow the run 4x - per-SSD queues confine the damage.
+    assert by_count[0] <= by_count[1] <= by_count[4]
+    # One slow device out of 15 must not degrade the whole run by its
+    # full 4x slowdown - per-SSD queues confine most of the damage.
+    assert by_count[1] < 3.5 * by_count[0]
+
+
+def test_partitioning_ablation(bench_once):
+    from repro.bench.extra_experiments import partitioning_ablation
+
+    rows = bench_once(partitioning_ablation)
+    print_experiment(
+        "Horizontal partitioning: range (paper) vs hash (counterfactual)",
+        [format_table(rows)],
+    )
+    for app in ("bfs", "wcc"):
+        ranged = next(
+            r for r in rows if r["strategy"] == "range" and r["app"] == app
+        )
+        hashed = next(
+            r for r in rows if r["strategy"] == "hash" and r["app"] == app
+        )
+        # §3.8: range partitioning localises each thread's I/O.
+        assert ranged["pages_fetched"] <= hashed["pages_fetched"], app
+        assert ranged["runtime_s"] <= 1.05 * hashed["runtime_s"], app

@@ -1,0 +1,33 @@
+"""Figure 11: FlashGraph vs GraphChi and X-Stream (runtime + memory)."""
+
+import math
+
+from repro.bench.experiments import fig11
+from repro.bench.reporting import format_table, print_experiment
+
+
+def test_fig11_vs_external_engines(bench_once):
+    rows = bench_once(fig11)
+    print_experiment(
+        "Figure 11 - Runtime and memory vs external-memory engines "
+        "(Twitter graph)",
+        [format_table(rows)],
+    )
+    for row in rows:
+        # Paper: one to two orders of magnitude faster; the weakest case
+        # (all-active CPU-bound apps) is still several-fold.  Triangle
+        # counting's gap compresses at 1/4096 scale because its workload
+        # shrinks quadratically while full scans shrink linearly - every
+        # engine is CPU-bound on the same intersections here - so for TC
+        # we assert direction rather than magnitude (see EXPERIMENTS.md).
+        factor = {"tc": 1.2, "wcc": 4, "pr": 4.5}.get(row["app"], 5)
+        if not math.isnan(row.get("graphchi_s", float("nan"))):
+            assert row["graphchi_s"] > factor * row["FG-1G_s"], row
+        assert row["xstream_s"] > factor * row["FG-1G_s"], row
+    # Traversal is where selective access pays most: >=1 order of magnitude.
+    bfs_row = next(r for r in rows if r["app"] == "bfs")
+    assert bfs_row["xstream_s"] > 10 * bfs_row["FG-1G_s"]
+    # Paper: FlashGraph's memory footprint is comparable - sometimes
+    # smaller than GraphChi's.
+    tc_row = next(r for r in rows if r["app"] == "tc")
+    assert tc_row["FG-1G_mem_MB"] < 10 * tc_row["graphchi_mem_MB"]

@@ -1,0 +1,22 @@
+"""Figure 12: the impact of preserving sequential I/O."""
+
+from repro.bench.experiments import fig12
+from repro.bench.reporting import format_table, print_experiment
+
+
+def test_fig12_sequential_io(bench_once):
+    rows = bench_once(fig12)
+    print_experiment(
+        "Figure 12 - Preserving sequential I/O (relative to merging in "
+        "FlashGraph)",
+        [format_table(rows)],
+    )
+    for app in ("bfs", "wcc"):
+        by_variant = {
+            r["variant"]: r["runtime_s"] for r in rows if r["app"] == app
+        }
+        # Paper's ordering: random execution is the worst; sequential
+        # execution helps; merging in FlashGraph beats merging in SAFS.
+        assert by_variant["random-exec"] > by_variant["seq-exec-no-merge"]
+        assert by_variant["merge-in-SAFS"] > by_variant["merge-in-FlashGraph"]
+        assert by_variant["seq-exec-no-merge"] >= by_variant["merge-in-FlashGraph"]

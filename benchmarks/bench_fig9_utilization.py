@@ -1,0 +1,18 @@
+"""Figure 9: CPU and I/O utilisation on the subdomain web graph."""
+
+from repro.bench.experiments import fig9
+from repro.bench.reporting import format_table, print_experiment
+
+
+def test_fig9_utilization(bench_once):
+    rows = bench_once(fig9)
+    print_experiment(
+        "Figure 9 - CPU and I/O utilisation (subdomain graph, SEM 1GB)",
+        [format_table(rows)],
+    )
+    by_app = {r["app"]: r for r in rows}
+    # Paper: BFS has the highest I/O throughput and the lowest CPU
+    # utilisation (I/O bound); WCC and PR are the most CPU bound.
+    assert by_app["bfs"]["io_util"] == max(r["io_util"] for r in rows)
+    assert by_app["bfs"]["cpu_util"] <= by_app["wcc"]["cpu_util"]
+    assert by_app["bfs"]["cpu_util"] <= by_app["pr"]["cpu_util"]

@@ -1,0 +1,19 @@
+"""Table 1: graph datasets (paper vs scaled stand-ins)."""
+
+from repro.bench.experiments import table1
+from repro.bench.reporting import format_table, print_experiment
+
+
+def test_table1_datasets(bench_once):
+    rows = bench_once(table1)
+    print_experiment(
+        "Table 1 - Graph data sets (scaled stand-ins)",
+        [format_table(rows)],
+    )
+    # The stand-ins must preserve each dataset's edges/vertex ratio band.
+    by_name = {r["dataset"]: r for r in rows}
+    assert 25 <= by_name["twitter-sim"]["edges_per_vertex"] <= 40
+    assert 15 <= by_name["subdomain-sim"]["edges_per_vertex"] <= 25
+    assert 25 <= by_name["page-sim"]["edges_per_vertex"] <= 40
+    # The page graph is the stringy, high-diameter one.
+    assert by_name["page-sim"]["sim_diam"] > 5 * by_name["twitter-sim"]["sim_diam"]

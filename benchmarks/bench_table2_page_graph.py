@@ -1,0 +1,27 @@
+"""Table 2: the billion-node page graph stand-in (4GB cache)."""
+
+from repro.bench.experiments import table2
+from repro.bench.reporting import format_table, print_experiment
+
+
+def test_table2_page_graph(bench_once):
+    rows = bench_once(table2)
+    print_experiment(
+        "Table 2 - Page graph stand-in, 4GB-equivalent cache",
+        [format_table(rows)],
+    )
+    by_app = {r["app"]: r for r in rows}
+    # The paper's TC >> everything ordering does not survive 1/4096
+    # scaling (triangle work shrinks quadratically, diameter-driven
+    # iteration costs do not - see EXPERIMENTS.md); the claims below do.
+    # BFS stays among the cheapest despite the huge diameter:
+    assert by_app["bfs"]["runtime_s"] < by_app["pr"]["runtime_s"]
+    assert by_app["bfs"]["runtime_s"] < by_app["tc"]["runtime_s"]
+    # Traversals run for diameter-many iterations on the stringy page graph:
+    assert by_app["bfs"]["iterations"] > 50
+    # The headline: every application's memory footprint is a fraction of
+    # the on-SSD graph size (the paper: 22-83GB against a 1.1TB graph).
+    from repro.bench.datasets import load_dataset
+    graph_mb = load_dataset("page-sim").storage_bytes() / 1e6
+    for row in rows:
+        assert 0 < row["memory_MB"] < 0.6 * graph_mb, row

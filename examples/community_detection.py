@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Community detection: label propagation vs multi-level Louvain.
+
+§3.4 of the paper argues FlashGraph's interface is flexible enough for
+Louvain clustering, "in which changes to the topology of the graph occur
+during computation".  This example runs both community detectors the
+library ships on a planted-partition graph:
+
+- label propagation — one engine run, plurality labels;
+- multi-level Louvain — local moving, then the graph *coarsens* (every
+  community becomes a weighted super-vertex: the topology change) and the
+  engine reruns on the new, smaller graph.
+
+Both are scored with Newman modularity and checked against the planted
+ground truth.
+
+Run:  python examples/community_detection.py
+"""
+
+import numpy as np
+
+from repro.algorithms import label_propagation, louvain, modularity
+from repro.core import EngineConfig, GraphEngine
+from repro.graph import build_undirected
+
+
+def planted_partition(
+    num_communities=12, size=24, p_in=0.4, p_out=0.01, seed=0
+):
+    """A stochastic block model graph with known communities."""
+    rng = np.random.default_rng(seed)
+    n = num_communities * size
+    truth = np.arange(n) // size
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            p = p_in if truth[u] == truth[v] else p_out
+            if rng.random() < p:
+                edges.append([u, v])
+    return np.asarray(edges), n, truth
+
+
+def agreement(labels, truth):
+    """Fraction of same-community vertex pairs labelled consistently
+    (pairwise Rand-style agreement on a sample)."""
+    rng = np.random.default_rng(1)
+    n = len(labels)
+    pairs = rng.integers(0, n, size=(4000, 2))
+    same_truth = truth[pairs[:, 0]] == truth[pairs[:, 1]]
+    same_label = labels[pairs[:, 0]] == labels[pairs[:, 1]]
+    return float(np.mean(same_truth == same_label))
+
+
+def main() -> None:
+    edges, n, truth = planted_partition()
+    image = build_undirected(edges, n, name="sbm")
+    print(f"planted-partition graph: {n} vertices, {image.num_edges} edges, "
+          f"{len(set(truth.tolist()))} true communities")
+
+    def engine_factory(im):
+        return GraphEngine(im, config=EngineConfig(num_threads=16, range_shift=5))
+
+    lp_labels, lp_result = label_propagation(engine_factory(image))
+    lp_q = modularity(image, lp_labels)
+    print(f"\nlabel propagation: {len(set(lp_labels.tolist()))} communities, "
+          f"Q={lp_q:.3f}, agreement {agreement(lp_labels, truth):.0%}, "
+          f"{lp_result.runtime * 1e3:.1f} ms simulated")
+
+    lv = louvain(engine_factory, image)
+    print(f"louvain: {len(set(lv.communities.tolist()))} communities over "
+          f"{lv.levels} levels (sizes {lv.level_sizes}), Q={lv.modularity:.3f}, "
+          f"agreement {agreement(lv.communities, truth):.0%}, "
+          f"{lv.run.runtime * 1e3:.1f} ms simulated")
+
+    print("\nlouvain's coarsening is the §3.4 flexibility claim in action: "
+          "after each level the engine runs on a *different* graph whose "
+          "vertices are the previous level's communities.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Weighted shortest paths over detached edge attributes.
+
+FlashGraph stores edge attributes in their own on-SSD files (§3.5.2), the
+column-store trick: algorithms that do not need weights never read them.
+This example builds a weighted road-network-like graph (a grid with local
+shortcuts), runs SSSP — which asks SAFS for the weight block next to each
+edge list (``with_attrs=True``) — and shows the I/O difference against
+BFS, which reads edge lists only.
+
+Run:  python examples/road_network_sssp.py
+"""
+
+import numpy as np
+
+from repro.algorithms import bfs, sssp
+from repro.core import EngineConfig, GraphEngine
+from repro.graph import build_directed
+from repro.safs import SAFS, SAFSConfig
+
+
+def grid_road_network(side: int, seed: int = 0):
+    """A directed grid with random travel times plus a few highways."""
+    rng = np.random.default_rng(seed)
+    ids = np.arange(side * side).reshape(side, side)
+    edges = []
+    right = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    down = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    edges = np.concatenate([right, right[:, ::-1], down, down[:, ::-1]])
+    # Highways: long-range fast links between random junctions.
+    highways = rng.integers(0, side * side, size=(side, 2), dtype=np.int64)
+    edges = np.concatenate([edges, highways])
+    weights = rng.uniform(1.0, 5.0, size=len(edges)).astype(np.float32)
+    weights[-len(highways):] = 0.5  # highways are fast
+    return edges, side * side, weights
+
+
+def main() -> None:
+    edges, num_vertices, weights = grid_road_network(side=48)
+    image = build_directed(edges, num_vertices, name="roads", weights=weights)
+    print(f"road network: {num_vertices:,} junctions, "
+          f"{image.num_edges:,} road segments "
+          f"(+ {image.storage_bytes() / 1e6:.1f} MB on SSDs incl. the "
+          f"detached weight file)")
+
+    def fresh_engine():
+        safs = SAFS(config=SAFSConfig(cache_bytes=1 << 18))
+        return GraphEngine(
+            image,
+            safs=safs,
+            config=EngineConfig(num_threads=16, range_shift=6),
+        )
+
+    source = 0
+    hops, bfs_result = bfs(fresh_engine(), source)
+    dist, sssp_result = sssp(fresh_engine(), source)
+
+    corner = num_vertices - 1
+    print(f"\nfrom junction {source} to junction {corner}:")
+    print(f"  BFS hops: {hops[corner]}, "
+          f"weighted travel time: {dist[corner]:.1f}")
+    reachable = np.isfinite(dist).sum()
+    print(f"  {reachable:,}/{num_vertices:,} junctions reachable")
+
+    print("\nthe detached-attribute effect:")
+    print(f"  BFS  read {bfs_result.bytes_read / 1e3:8.0f} KB "
+          f"(edge lists only)")
+    print(f"  SSSP read {sssp_result.bytes_read / 1e3:8.0f} KB "
+          f"(edge lists + weight blocks)")
+    print("  algorithms that skip attributes never pay for them — the "
+          "reason FlashGraph separates the files (§3.5.2)")
+
+
+if __name__ == "__main__":
+    main()

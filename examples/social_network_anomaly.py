@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Social-network structure: triangles and scan-statistics anomalies.
+
+The paper motivates FlashGraph with network analysis workloads; scan
+statistics (§4, [26]) is the tool its authors use for anomaly detection —
+a vertex whose neighborhood is abnormally dense is a candidate anomaly
+(a coordinated cluster, a spam ring).
+
+This example:
+
+1. generates a Twitter-profile graph and plants an anomaly — a small
+   clique wired into existing vertices,
+2. runs triangle counting to measure local clustering,
+3. runs scan statistics with the paper's largest-degree-first custom
+   scheduler and shows the pruning at work,
+4. checks the planted clique tops the scan ranking.
+
+Run:  python examples/social_network_anomaly.py
+"""
+
+import numpy as np
+
+from repro.algorithms import scan_statistics, triangle_count
+from repro.algorithms.scan_statistics import ScanStatisticsProgram
+from repro.core import EngineConfig, GraphEngine
+from repro.core.config import ScheduleOrder
+from repro.graph import build_directed, twitter_sim
+
+
+def plant_clique(edges: np.ndarray, members: np.ndarray) -> np.ndarray:
+    """Wire ``members`` into a directed clique (both directions)."""
+    pairs = [
+        (u, v)
+        for u in members
+        for v in members
+        if u != v
+    ]
+    return np.concatenate([edges, np.asarray(pairs, dtype=np.int64)])
+
+
+def main() -> None:
+    edges, num_vertices = twitter_sim(scale=12, seed=11)
+    rng = np.random.default_rng(0)
+    clique = rng.choice(num_vertices, size=14, replace=False)
+    edges = plant_clique(edges, clique)
+    image = build_directed(edges, num_vertices, name="social")
+    print(f"social graph: {num_vertices:,} users, {image.num_edges:,} follows; "
+          f"planted a {clique.size}-user clique")
+
+    engine = GraphEngine(
+        image,
+        config=EngineConfig(
+            num_threads=32,
+            range_shift=7,
+            # Hubs request thousands of neighbor lists: split them into
+            # vertex parts so the load balancer can spread the work (§3.8).
+            vertical_part_threshold=256,
+            vertical_part_size=128,
+        ),
+    )
+
+    triangles, tc_result = triangle_count(engine)
+    print(f"\ntriangle counting: {triangles.sum() // 3:,} triangles, "
+          f"{tc_result.runtime:.3f} s simulated, "
+          f"read {tc_result.bytes_read / 1e6:.0f} MB "
+          f"(TC reads many other vertices' edge lists — the paper's most "
+          f"I/O-hungry application)")
+    clique_rate = triangles[clique].mean()
+    print(f"  planted clique members average {clique_rate:.0f} triangles "
+          f"vs {np.median(triangles):.0f} for the median user")
+
+    max_scan, argmax, ss_result = scan_statistics(engine)
+    program_pruned = None
+    # Re-run transparently to expose the pruning counter.
+    probe = GraphEngine(
+        image,
+        config=EngineConfig(
+            num_threads=32, range_shift=7, schedule_order=ScheduleOrder.CUSTOM
+        ),
+    )
+    program = ScanStatisticsProgram(image.num_vertices, image.directed)
+    degrees = (image.out_csr.degrees() + image.in_csr.degrees()).astype(np.int64)
+    program.attach_degrees(degrees)
+    probe.run(program)
+    program_pruned = program.pruned
+
+    print(f"\nscan statistics: max locality statistic {max_scan} at user "
+          f"{argmax}, {ss_result.runtime:.3f} s simulated")
+    print(f"  degree-descending scheduler pruned {program_pruned:,} of "
+          f"{image.num_vertices:,} users without any I/O")
+    dense_users = set(int(v) for v in clique)
+    if int(argmax) in dense_users:
+        print(f"  -> the anomaly IS the planted clique (user {argmax})")
+    else:
+        print(f"  -> densest neighborhood belongs to organic hub {argmax}; "
+              f"clique members rank high in raw scan values")
+
+
+if __name__ == "__main__":
+    main()

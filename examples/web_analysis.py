@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Web-graph analysis on a billion-node-profile graph with a small cache.
+
+The paper's headline demonstration (§5.6) is processing a 3.4B-vertex web
+page graph on one machine with a tiny memory footprint.  This example runs
+the same pipeline on the scaled page-graph stand-in (domain-clustered,
+high diameter):
+
+- weakly connected components to find the crawl's reachable mass,
+- PageRank to rank pages,
+- BFS from the top-ranked page to measure reachability depth,
+
+and then prints the memory breakdown that makes semi-external memory
+interesting: vertex state + compact index + page cache, versus the graph
+size an in-memory engine would need to hold.
+
+Run:  python examples/web_analysis.py
+"""
+
+import numpy as np
+
+from repro.algorithms import bfs, pagerank, wcc
+from repro.core import EngineConfig, GraphEngine
+from repro.graph import build_directed, page_sim
+from repro.safs import SAFS, SAFSConfig
+
+
+def main() -> None:
+    edges, num_vertices = page_sim(num_vertices=1 << 15, seed=3)
+    image = build_directed(edges, num_vertices, name="pages")
+    graph_mb = image.storage_bytes() / 1e6
+    print(f"page graph stand-in: {num_vertices:,} pages, "
+          f"{image.num_edges:,} links, {graph_mb:.1f} MB on SSDs")
+
+    # A deliberately small cache: the paper used 4GB against a 1.1TB graph.
+    cache_bytes = 1 << 20
+    safs = SAFS(config=SAFSConfig(cache_bytes=cache_bytes))
+    engine = GraphEngine(
+        image,
+        safs=safs,
+        config=EngineConfig(num_threads=32, range_shift=8),
+    )
+
+    labels, wcc_result = wcc(engine)
+    components, sizes = np.unique(labels, return_counts=True)
+    print(f"\nWCC: {components.size} components; largest holds "
+          f"{sizes.max() / num_vertices:.0%} of all pages "
+          f"({wcc_result.iterations} iterations, "
+          f"{wcc_result.runtime:.3f} s simulated)")
+
+    ranks, pr_result = pagerank(engine, max_iterations=30)
+    top_page = int(np.argmax(ranks))
+    print(f"PageRank: top page is {top_page} "
+          f"(domain {top_page // 64}); "
+          f"{pr_result.runtime:.3f} s simulated, "
+          f"cache hit rate {pr_result.cache_hit_rate:.0%} — the page graph's "
+          f"domain clustering keeps hit rates high")
+
+    levels, bfs_result = bfs(engine, top_page)
+    print(f"BFS from the top page: depth {levels.max()} "
+          f"(the web graph is stringy — the paper's page graph has "
+          f"diameter 650), {bfs_result.iterations} iterations, "
+          f"{bfs_result.runtime:.3f} s simulated")
+
+    memory = pr_result.memory
+    total_mb = pr_result.memory_bytes / 1e6
+    print("\nsemi-external memory footprint:")
+    for component, amount in sorted(memory.items()):
+        print(f"  {component:>12}: {amount / 1e6:8.2f} MB")
+    print(f"  {'total':>12}: {total_mb:8.2f} MB "
+          f"— {total_mb / graph_mb:.0%} of the graph's on-SSD size")
+
+
+if __name__ == "__main__":
+    main()

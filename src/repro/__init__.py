@@ -1,0 +1,37 @@
+"""FlashGraph reproduction: a semi-external-memory graph engine.
+
+A comprehensive Python reproduction of *FlashGraph: Processing
+Billion-Node Graphs on an Array of Commodity SSDs* (Zheng et al.,
+FAST 2015) over a deterministic discrete-event simulation of the paper's
+testbed.  Results (BFS levels, PageRank values, cache hits, bytes moved)
+are computed exactly; service times come from calibrated device and CPU
+models.
+
+Package map:
+
+- :mod:`repro.sim` — virtual clock, cost model, SSD array, NUMA topology
+- :mod:`repro.safs` — the SAFS user-space filesystem (page cache, request
+  merging, async user tasks, write path)
+- :mod:`repro.graph` — on-SSD format, compact index, builders,
+  generators, transforms, validation, statistics
+- :mod:`repro.core` — the vertex-centric engine (SEM and in-memory modes)
+- :mod:`repro.algorithms` — the paper's six applications plus extensions
+- :mod:`repro.baselines` — GraphChi/X-Stream/PowerGraph/Galois/PEGASUS/
+  TurboGraph/Pregel/Trinity comparators
+- :mod:`repro.bench` — one experiment per paper table/figure
+- :mod:`repro.cli` — ``generate`` / ``run`` / ``bench`` command line
+
+Quickstart::
+
+    from repro.graph import build_directed, twitter_sim
+    from repro.core import GraphEngine, EngineConfig
+    from repro.algorithms import bfs
+
+    edges, n = twitter_sim(scale=13)
+    engine = GraphEngine(build_directed(edges, n))
+    levels, result = bfs(engine, source=0)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

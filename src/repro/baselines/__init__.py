@@ -1,0 +1,45 @@
+"""Comparator graph engines (§5.2, §5.3).
+
+The paper compares FlashGraph against four systems we rebuild here as
+cost-modelled engines over the *same* simulated hardware:
+
+- :mod:`repro.baselines.graphchi` — GraphChi [16]: parallel sliding
+  windows over shards on disk; every iteration streams the whole graph
+  sequentially regardless of how many vertices are active.
+- :mod:`repro.baselines.xstream` — X-Stream [23]: edge-centric
+  scatter-gather over streaming partitions; also scans all edges per
+  iteration, plus an update stream written and re-read.
+- :mod:`repro.baselines.powergraph` — PowerGraph [11]: synchronous GAS
+  over a cluster of machines with random vertex-cut partitioning; network
+  communication for replica synchronisation dominates.
+- :mod:`repro.baselines.galois` — Galois [21]: a hand-tuned in-memory
+  engine with a low-level API; models the cheapest per-edge constants and
+  uses direction-optimizing BFS (why it wins traversals in Figure 10).
+
+Every engine consumes the *actual* per-iteration dynamics of each
+algorithm (frontier sizes, edges traversed — computed exactly in
+:mod:`repro.baselines.common`), so iteration counts and convergence are
+real; only service times come from each system's cost model.
+"""
+
+from repro.baselines.cluster import PregelEngine, TrinityEngine
+from repro.baselines.common import BaselineReport, WorkloadTrace
+from repro.baselines.galois import GaloisEngine
+from repro.baselines.graphchi import GraphChiEngine
+from repro.baselines.pegasus import PegasusEngine
+from repro.baselines.powergraph import PowerGraphEngine
+from repro.baselines.turbograph import TurboGraphEngine
+from repro.baselines.xstream import XStreamEngine
+
+__all__ = [
+    "BaselineReport",
+    "WorkloadTrace",
+    "GaloisEngine",
+    "GraphChiEngine",
+    "PegasusEngine",
+    "PowerGraphEngine",
+    "PregelEngine",
+    "TrinityEngine",
+    "TurboGraphEngine",
+    "XStreamEngine",
+]

@@ -1,0 +1,142 @@
+"""Cluster-scale comparators for the §5.6 discussion: Pregel and Trinity.
+
+§5.6 contrasts FlashGraph's single machine against published cluster
+results: Pregel ran shortest paths on a 1B-vertex random graph on **300
+multicore machines** in a bit over ten minutes; Trinity took over ten
+minutes for BFS on a 1B-vertex graph on **14 twelve-core machines**.
+
+These models capture the two regimes:
+
+- :class:`PregelEngine` — synchronous message passing where every cross-
+  machine edge moves one message over the network per superstep; hash
+  partitioning, so the cut fraction is ``1 - 1/machines``.
+- :class:`TrinityEngine` — a memory-cloud design that restricts
+  communication to direct neighbors and batches aggressively, modelled as
+  Pregel with a lower per-message byte count and latency but fewer
+  machines.
+
+Both run real workload traces, so superstep counts are exact.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.common import (
+    BaselineReport,
+    WorkloadTrace,
+    bfs_trace,
+    pagerank_trace,
+    wcc_trace,
+)
+from repro.graph.builder import GraphImage
+
+
+@dataclass(frozen=True)
+class ClusterCostModel:
+    """Shared cluster-model knobs."""
+
+    num_machines: int = 300
+    cores_per_machine: int = 8
+    #: Per-machine network bandwidth, bytes/second (1 GbE for Pregel's era).
+    network_bandwidth: float = 125e6
+    #: Synchronisation latency per superstep.
+    barrier_latency: float = 50e-3
+    #: Bytes per cross-machine message.
+    bytes_per_message: float = 20.0
+    #: CPU per edge processed.
+    cpu_per_edge: float = 30e-9
+
+
+class _ClusterEngine:
+    """Common machinery: trace → superstep times under a cluster model."""
+
+    SUPPORTED = ("bfs", "pagerank", "wcc")
+    name = "cluster"
+
+    def __init__(
+        self, image: GraphImage, cost_model: Optional[ClusterCostModel] = None
+    ) -> None:
+        self.image = image
+        self.cost = cost_model or self.default_cost_model()
+        if self.cost.num_machines < 1:
+            raise ValueError("need at least one machine")
+
+    @staticmethod
+    def default_cost_model() -> ClusterCostModel:
+        return ClusterCostModel()
+
+    def run(self, algorithm: str, source: int = 0, max_iterations: int = 30) -> BaselineReport:
+        """Execute ``algorithm`` and report cluster time."""
+        if algorithm == "bfs":
+            _, trace = bfs_trace(self.image, source)
+        elif algorithm == "pagerank":
+            _, trace = pagerank_trace(self.image, max_iterations=max_iterations)
+        elif algorithm == "wcc":
+            _, trace = wcc_trace(self.image)
+        else:
+            raise ValueError(f"unsupported algorithm {algorithm!r}")
+        return self._time_trace(trace)
+
+    def _time_trace(self, trace: WorkloadTrace) -> BaselineReport:
+        cost = self.cost
+        machines = cost.num_machines
+        cut_fraction = 1.0 - 1.0 / machines  # random hash partitioning
+        total_cores = machines * cost.cores_per_machine
+        cluster_bandwidth = machines * cost.network_bandwidth
+        runtime = 0.0
+        network_bytes = 0.0
+        for stats in trace.iterations:
+            compute = stats.edges_traversed * cost.cpu_per_edge / total_cores
+            messages = stats.edges_traversed * cut_fraction
+            wire = messages * cost.bytes_per_message
+            network = wire / cluster_bandwidth
+            runtime += compute + network + cost.barrier_latency
+            network_bytes += wire
+        return BaselineReport(
+            system=self.name,
+            algorithm=trace.algorithm,
+            runtime=runtime,
+            iterations=trace.num_iterations,
+            bytes_read=0.0,
+            bytes_written=0.0,
+            memory_bytes=machines * 32e6 + 16.0 * self.image.out_csr.num_edges,
+            details={
+                "num_machines": float(machines),
+                "network_bytes": network_bytes,
+            },
+        )
+
+
+class PregelEngine(_ClusterEngine):
+    """Pregel [20]: 300 machines, plain synchronous message passing."""
+
+    name = "pregel"
+
+    @staticmethod
+    def default_cost_model() -> ClusterCostModel:
+        return ClusterCostModel(
+            num_machines=300,
+            cores_per_machine=8,
+            network_bandwidth=125e6,
+            barrier_latency=50e-3,
+            bytes_per_message=20.0,
+            cpu_per_edge=30e-9,
+        )
+
+
+class TrinityEngine(_ClusterEngine):
+    """Trinity [24]: 14 machines, memory cloud, neighbor-restricted and
+    batched communication (fewer bytes, tighter barriers)."""
+
+    name = "trinity"
+
+    @staticmethod
+    def default_cost_model() -> ClusterCostModel:
+        return ClusterCostModel(
+            num_machines=14,
+            cores_per_machine=12,
+            network_bandwidth=1.25e9,
+            barrier_latency=10e-3,
+            bytes_per_message=8.0,
+            cpu_per_edge=25e-9,
+        )

@@ -1,0 +1,222 @@
+"""Shared machinery for the baseline engines.
+
+A :class:`WorkloadTrace` is the exact per-iteration dynamics of one
+algorithm on one graph — how many vertices were active and how many edges
+were traversed each iteration — computed by vectorised reference
+implementations over the CSR adjacency.  Baseline engines turn a trace
+into time under their own cost models, so every system "runs" the same
+real workload and differs only in how it pays for it, which is exactly
+the comparison the paper's Figures 10 and 11 make.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.builder import GraphImage
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """One iteration's workload."""
+
+    active_vertices: int
+    edges_traversed: int
+
+
+@dataclass
+class WorkloadTrace:
+    """Per-iteration dynamics of one algorithm run."""
+
+    algorithm: str
+    iterations: List[IterationStats] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_edges(self) -> int:
+        return sum(s.edges_traversed for s in self.iterations)
+
+    @property
+    def total_active(self) -> int:
+        return sum(s.active_vertices for s in self.iterations)
+
+
+@dataclass
+class BaselineReport:
+    """What a baseline engine reports for one run (cf. RunResult)."""
+
+    system: str
+    algorithm: str
+    runtime: float
+    iterations: int
+    bytes_read: float
+    bytes_written: float
+    memory_bytes: float
+    details: Dict[str, float] = field(default_factory=dict)
+
+
+def bfs_trace(image: GraphImage, source: int) -> Tuple[np.ndarray, WorkloadTrace]:
+    """Top-down BFS levels plus its per-iteration workload."""
+    indptr, indices = image.out_csr.indptr, image.out_csr.indices
+    n = image.num_vertices
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    trace = WorkloadTrace("bfs")
+    level = 0
+    while frontier.size:
+        edges = int((indptr[frontier + 1] - indptr[frontier]).sum())
+        trace.iterations.append(IterationStats(int(frontier.size), edges))
+        chunks = [indices[indptr[v] : indptr[v + 1]] for v in frontier]
+        neighbors = (
+            np.unique(np.concatenate(chunks)).astype(np.int64)
+            if chunks
+            else np.zeros(0, dtype=np.int64)
+        )
+        frontier = neighbors[levels[neighbors] == -1]
+        level += 1
+        levels[frontier] = level
+    return levels, trace
+
+
+def pagerank_trace(
+    image: GraphImage,
+    damping: float = 0.85,
+    tolerance: float = 1e-6,
+    max_iterations: int = 30,
+) -> Tuple[np.ndarray, WorkloadTrace]:
+    """Delta PageRank values plus workload (active set shrinks over time)."""
+    indptr, indices = image.out_csr.indptr, image.out_csr.indices
+    n = image.num_vertices
+    out_deg = np.diff(indptr)
+    rank = np.zeros(n)
+    pending = np.full(n, 1.0 - damping)
+    trace = WorkloadTrace("pagerank")
+    for _ in range(max_iterations):
+        active = np.nonzero(pending != 0.0)[0]
+        if active.size == 0:
+            break
+        delta = pending[active]
+        rank[active] += delta
+        pending[active] = 0.0
+        push = damping * delta
+        sending = (push > tolerance) & (out_deg[active] > 0)
+        senders = active[sending]
+        edges = int(out_deg[senders].sum())
+        trace.iterations.append(IterationStats(int(active.size), edges))
+        if senders.size:
+            per_edge = np.repeat(push[sending] / out_deg[senders], out_deg[senders])
+            dests = np.concatenate(
+                [indices[indptr[v] : indptr[v + 1]] for v in senders]
+            ).astype(np.int64)
+            np.add.at(pending, dests, per_edge)
+    return rank + pending, trace
+
+
+def wcc_trace(image: GraphImage) -> Tuple[np.ndarray, WorkloadTrace]:
+    """Min-label propagation components plus workload."""
+    n = image.num_vertices
+    out_indptr, out_indices = image.out_csr.indptr, image.out_csr.indices
+    in_indptr, in_indices = image.in_csr.indptr, image.in_csr.indices
+    labels = np.arange(n, dtype=np.int64)
+    active = np.arange(n, dtype=np.int64)
+    trace = WorkloadTrace("wcc")
+    while active.size:
+        edges = int(
+            (out_indptr[active + 1] - out_indptr[active]).sum()
+            + (in_indptr[active + 1] - in_indptr[active]).sum()
+        )
+        trace.iterations.append(IterationStats(int(active.size), edges))
+        proposals = labels.copy()
+        for indptr, indices in ((out_indptr, out_indices), (in_indptr, in_indices)):
+            if active.size == n:
+                dests = indices.astype(np.int64)
+                values = np.repeat(labels, np.diff(indptr))
+            else:
+                dests = np.concatenate(
+                    [indices[indptr[v] : indptr[v + 1]] for v in active]
+                ).astype(np.int64)
+                values = np.repeat(
+                    labels[active], (indptr[active + 1] - indptr[active])
+                )
+            if dests.size:
+                np.minimum.at(proposals, dests, values)
+        changed = np.nonzero(proposals < labels)[0]
+        labels = proposals
+        active = changed
+    return labels, trace
+
+
+def bc_trace(image: GraphImage, source: int) -> Tuple[np.ndarray, WorkloadTrace]:
+    """Single-source Brandes dependencies plus workload (fwd + bwd)."""
+    levels, forward = bfs_trace(image, source)
+    in_indptr = image.in_csr.indptr
+    trace = WorkloadTrace("bc")
+    trace.iterations.extend(forward.iterations)
+    max_level = int(levels.max())
+    # Backward sweep touches the in-edges of each level, far to near.
+    for level in range(max_level, 0, -1):
+        members = np.nonzero(levels == level)[0]
+        edges = int((in_indptr[members + 1] - in_indptr[members]).sum())
+        trace.iterations.append(IterationStats(int(members.size), edges))
+    trace.algorithm = "bc"
+    # The dependency values themselves come from the engine's BC program;
+    # baselines only need the workload, so return the levels.
+    return levels, trace
+
+
+def triangle_trace(image: GraphImage) -> Tuple[int, WorkloadTrace]:
+    """Exact triangle count plus intersection workload.
+
+    Workload counts, for every vertex, the sizes of the adjacency lists it
+    must intersect — the same work every engine has to do.
+    """
+    n = image.num_vertices
+    neighbor_sets = []
+    out = image.out_csr
+    inc = image.in_csr
+    for v in range(n):
+        merged = np.union1d(out.neighbors(v), inc.neighbors(v)).astype(np.int64)
+        neighbor_sets.append(merged[merged != v])
+    total = 0
+    work = 0
+    for v in range(n):
+        mine = neighbor_sets[v]
+        higher = mine[mine > v]
+        for u in higher:
+            other = neighbor_sets[int(u)]
+            work += mine.size + other.size
+            common = np.intersect1d(mine, other, assume_unique=True)
+            total += int((common > u).sum())
+    trace = WorkloadTrace("triangle_count")
+    trace.iterations.append(IterationStats(n, work))
+    return total, trace
+
+
+def scan_trace(image: GraphImage) -> Tuple[int, WorkloadTrace]:
+    """Exact maximum locality statistic plus workload (no pruning — the
+    unpruned cost generic engines pay)."""
+    n = image.num_vertices
+    out, inc = image.out_csr, image.in_csr
+    neighbor_sets = []
+    for v in range(n):
+        merged = np.union1d(out.neighbors(v), inc.neighbors(v)).astype(np.int64)
+        neighbor_sets.append(merged[merged != v])
+    best = 0
+    work = 0
+    for v in range(n):
+        mine = neighbor_sets[v]
+        among = 0
+        for u in mine:
+            other = neighbor_sets[int(u)]
+            work += mine.size + other.size
+            common = np.intersect1d(mine, other, assume_unique=True)
+            among += int((common > u).sum())
+        best = max(best, int(mine.size) + among)
+    trace = WorkloadTrace("scan_statistics")
+    trace.iterations.append(IterationStats(n, work))
+    return best, trace

@@ -1,0 +1,153 @@
+"""A PowerGraph-like GAS engine (Gonzalez et al. [11]).
+
+PowerGraph expresses algorithms as gather-apply-scatter over a vertex-cut
+partitioning.  The paper runs it in multi-thread mode on the same machine
+(its best configuration there) using the synchronous engine; it still
+loses to FlashGraph by a wide margin because the GAS abstraction pays for
+replica bookkeeping, fine-grained synchronisation, and a full
+gather/apply/scatter cycle per active vertex per superstep.
+
+The engine also supports a distributed mode (``num_machines > 1``) that
+adds network synchronisation of vertex replicas — the configuration
+Pregel/Trinity-style comparisons in §5.6 allude to.  The replication
+factor is *measured* from an actual random vertex-cut of the input graph,
+not assumed.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import (
+    BaselineReport,
+    bc_trace,
+    bfs_trace,
+    pagerank_trace,
+    triangle_trace,
+    wcc_trace,
+)
+from repro.graph.builder import GraphImage
+
+
+@dataclass(frozen=True)
+class PowerGraphCostModel:
+    """PowerGraph-specific constants."""
+
+    #: Machines; 1 = the paper's multi-thread single-machine mode.
+    num_machines: int = 1
+    #: CPU per gathered/scattered edge (GAS machinery, locks).
+    cpu_per_edge: float = 45e-9
+    #: CPU per active vertex per superstep (gather-apply-scatter cycle).
+    cpu_per_vertex: float = 600e-9
+    #: Cores per machine.
+    cores_per_machine: int = 32
+    #: Synchronous-engine barrier per superstep.
+    iteration_overhead: float = 4e-3
+    #: Bytes exchanged per replica synchronisation.
+    replica_sync_bytes: float = 16.0
+    #: Per-machine network bandwidth (10 GbE), distributed mode only.
+    network_bandwidth: float = 1.25e9
+    #: Network round-trip added per superstep, distributed mode only.
+    network_latency: float = 1e-3
+
+
+class PowerGraphEngine:
+    """Runs workload traces under the PowerGraph cost model."""
+
+    SUPPORTED = ("bfs", "bc", "pagerank", "wcc", "triangle_count")
+    name = "powergraph"
+
+    def __init__(
+        self,
+        image: GraphImage,
+        cost_model: Optional[PowerGraphCostModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.image = image
+        self.cost = cost_model or PowerGraphCostModel()
+        if self.cost.num_machines < 1:
+            raise ValueError("need at least one machine")
+        self._replication = self._measure_replication(seed)
+
+    @property
+    def replication_factor(self) -> float:
+        """Average replicas per vertex under a random vertex-cut."""
+        return self._replication
+
+    def _measure_replication(self, seed: int) -> float:
+        machines = self.cost.num_machines
+        if machines == 1:
+            return 1.0
+        rng = np.random.default_rng(seed)
+        indptr = self.image.out_csr.indptr
+        indices = self.image.out_csr.indices
+        num_edges = indices.size
+        assignment = rng.integers(0, machines, size=num_edges)
+        # A vertex is replicated on every machine one of its edges lands on.
+        src = np.repeat(np.arange(self.image.num_vertices), np.diff(indptr))
+        dst = indices.astype(np.int64)
+        present = set()
+        for endpoint in (src, dst):
+            keys = endpoint * machines + assignment
+            present.update(np.unique(keys).tolist())
+        touched = len({k // machines for k in present})
+        if touched == 0:
+            return 1.0
+        return len(present) / touched
+
+    def run(self, algorithm: str, source: int = 0, max_iterations: int = 30) -> BaselineReport:
+        """Execute ``algorithm`` and report time/memory."""
+        if algorithm == "bfs":
+            _, trace = bfs_trace(self.image, source)
+        elif algorithm == "bc":
+            _, trace = bc_trace(self.image, source)
+        elif algorithm == "pagerank":
+            _, trace = pagerank_trace(self.image, max_iterations=max_iterations)
+        elif algorithm == "wcc":
+            _, trace = wcc_trace(self.image)
+        elif algorithm == "triangle_count":
+            _, trace = triangle_trace(self.image)
+        else:
+            raise ValueError(f"unsupported algorithm {algorithm!r}")
+        cost = self.cost
+        total_cores = cost.num_machines * cost.cores_per_machine
+        runtime = 0.0
+        network_bytes = 0.0
+        for stats in trace.iterations:
+            cpu = (
+                stats.edges_traversed * cost.cpu_per_edge
+                + stats.active_vertices * cost.cpu_per_vertex
+            )
+            step = cpu / total_cores + cost.iteration_overhead
+            if cost.num_machines > 1:
+                sync = (
+                    stats.active_vertices
+                    * (self._replication - 1.0)
+                    * cost.replica_sync_bytes
+                )
+                step += (
+                    sync / (cost.num_machines * cost.network_bandwidth)
+                    + cost.network_latency
+                )
+                network_bytes += sync
+            runtime += step
+        return BaselineReport(
+            system=self.name,
+            algorithm=trace.algorithm,
+            runtime=runtime,
+            iterations=trace.num_iterations,
+            bytes_read=0.0,
+            bytes_written=0.0,
+            memory_bytes=self.memory_bytes(),
+            details={
+                "total_edges_processed": trace.total_edges,
+                "replication_factor": self._replication,
+                "network_bytes": network_bytes,
+            },
+        )
+
+    def memory_bytes(self) -> float:
+        """Edges once plus replicated vertex state and GAS accumulators."""
+        edges = self.image.out_csr.num_edges
+        return 16.0 * edges + 48.0 * self.image.num_vertices * self._replication

@@ -1,0 +1,87 @@
+"""The scaled dataset registry (Table 1 stand-ins).
+
+Every benchmark runs on synthetic graphs that preserve the paper datasets'
+edges/vertex ratio, degree skew and ID locality at roughly 1/4096 the byte
+size.  Cache sizes quoted in paper units ("1GB", "4GB", …) are divided by
+the same :data:`CACHE_SCALE`, preserving the cache:graph ratio that drives
+hit rates.
+"""
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.graph.builder import GraphImage, build_directed
+from repro.graph.generators import page_sim, subdomain_sim, twitter_sim
+
+#: Paper byte sizes divide by this to get simulated sizes ("1GB" → 256KiB).
+CACHE_SCALE = 4096
+
+
+def scaled_cache_bytes(paper_gib: float) -> int:
+    """Simulated cache size for a paper-units cache (e.g. ``1.0`` = 1GB)."""
+    if paper_gib <= 0:
+        raise ValueError("cache size must be positive")
+    return max(1 << 14, int(paper_gib * (1 << 30) / CACHE_SCALE))
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One Table 1 dataset and its scaled stand-in."""
+
+    name: str
+    paper_name: str
+    paper_vertices: str
+    paper_edges: str
+    paper_size: str
+    paper_diameter: int
+    builder: Callable[[], Tuple[np.ndarray, int]]
+
+    def build(self) -> GraphImage:
+        edges, num_vertices = self.builder()
+        return build_directed(edges, num_vertices, name=self.name)
+
+
+DATASETS: Dict[str, Dataset] = {
+    "twitter-sim": Dataset(
+        name="twitter-sim",
+        paper_name="Twitter",
+        paper_vertices="42M",
+        paper_edges="1.5B",
+        paper_size="13GB",
+        paper_diameter=23,
+        builder=lambda: twitter_sim(scale=13, seed=1),
+    ),
+    "subdomain-sim": Dataset(
+        name="subdomain-sim",
+        paper_name="Subdomain",
+        paper_vertices="89M",
+        paper_edges="2B",
+        paper_size="18GB",
+        paper_diameter=30,
+        builder=lambda: subdomain_sim(scale=14, seed=2),
+    ),
+    "page-sim": Dataset(
+        name="page-sim",
+        paper_name="Page",
+        paper_vertices="3.4B",
+        paper_edges="129B",
+        paper_size="1.1TB",
+        paper_diameter=650,
+        builder=lambda: page_sim(num_vertices=1 << 15, seed=3),
+    ),
+}
+
+
+@lru_cache(maxsize=None)
+def load_dataset(name: str) -> GraphImage:
+    """Build (and memoise) one registered dataset's graph image."""
+    try:
+        dataset = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; registered: {sorted(DATASETS)}"
+        ) from None
+    return dataset.build()

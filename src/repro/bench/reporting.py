@@ -1,0 +1,86 @@
+"""Plain-text table formatting for benchmark output."""
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value) -> str:
+    """Human formatting: seconds/bytes/ratios pick sensible precision."""
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 100:
+            return f"{value:,.0f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        if magnitude >= 1e-3:
+            return f"{value:.4f}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append([format_value(row.get(c, "")) for c in columns])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = rendered
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def human_bytes(num: float) -> str:
+    """1536 → '1.5KiB'."""
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(num) < 1024.0 or unit == "TiB":
+            return f"{num:.1f}{unit}" if unit != "B" else f"{num:.0f}B"
+        num /= 1024.0
+    return f"{num:.1f}TiB"
+
+
+#: Environment variable naming the mirror file for benchmark tables.
+RESULTS_ENV = "REPRO_BENCH_RESULTS"
+#: Default mirror file, relative to the working directory.
+DEFAULT_RESULTS_FILE = "bench_results.txt"
+
+
+def results_path() -> str:
+    """Where :func:`print_experiment` mirrors its tables."""
+    import os
+
+    return os.environ.get(RESULTS_ENV, DEFAULT_RESULTS_FILE)
+
+
+def print_experiment(name: str, tables: Iterable[str]) -> None:
+    """Emit one experiment's tables with a banner.
+
+    The tables are the actual deliverable of a benchmark run, but pytest
+    captures stdout at the file-descriptor level; so besides printing,
+    every experiment is mirrored (appended) to :func:`results_path` —
+    ``bench_results.txt`` by default, truncated once per pytest session
+    by the benchmarks conftest.
+    """
+    banner = "=" * 72
+    block_lines = [f"\n{banner}\n{name}\n{banner}"]
+    for table in tables:
+        block_lines.append(table)
+        block_lines.append("")
+    block = "\n".join(block_lines)
+    print(block)
+    with open(results_path(), "a") as mirror:
+        mirror.write(block + "\n")

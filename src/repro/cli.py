@@ -1,0 +1,152 @@
+"""Command-line tools for the FlashGraph reproduction.
+
+Three subcommands mirror a downstream user's workflow::
+
+    python -m repro.cli generate --dataset twitter-sim --out tw.npz
+    python -m repro.cli run --algorithm bfs --dataset twitter-sim \
+        --mode semi-external --cache-mb 1 --trace bfs.csv
+    python -m repro.cli bench --experiment fig8
+
+``generate`` persists a scaled dataset's edge list; ``run`` executes one
+algorithm on a registered dataset or an edge-list file and prints the
+result row; ``bench`` regenerates one paper table/figure by name.
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bench import experiments
+from repro.bench import extra_experiments
+from repro.bench.datasets import DATASETS, load_dataset
+from repro.bench.harness import PAPER_APPS, make_engine, result_row, run_algorithm
+from repro.bench.reporting import format_table
+from repro.core.config import ExecutionMode
+from repro.core.tracing import IterationTracer
+from repro.graph.builder import build_directed
+from repro.graph.io_edge_list import load_edges_npz, load_edges_text, save_edges_npz
+
+EXPERIMENTS = {
+    "table1": experiments.table1,
+    "fig8": experiments.fig8,
+    "fig9": experiments.fig9,
+    "fig10": experiments.fig10,
+    "fig11": experiments.fig11,
+    "fig12": experiments.fig12,
+    "fig13": experiments.fig13,
+    "fig14": experiments.fig14,
+    "table2": experiments.table2,
+    "ablations": experiments.ablations,
+    "sec56": extra_experiments.sec56_clusters,
+    "turbograph": extra_experiments.turbograph_comparison,
+    "cache-policy": extra_experiments.cache_policy_ablation,
+    "stragglers": extra_experiments.straggler_experiment,
+    "partitioning": extra_experiments.partitioning_ablation,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FlashGraph reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate and persist a dataset")
+    gen.add_argument("--dataset", choices=sorted(DATASETS), required=True)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    run = sub.add_parser("run", help="run one algorithm")
+    run.add_argument("--algorithm", choices=PAPER_APPS, required=True)
+    run.add_argument("--dataset", choices=sorted(DATASETS))
+    run.add_argument("--edges", help="edge-list file (.npz or text)")
+    run.add_argument(
+        "--mode",
+        choices=[m.value for m in ExecutionMode],
+        default=ExecutionMode.SEMI_EXTERNAL.value,
+    )
+    run.add_argument("--cache-mb", type=float, default=1.0)
+    run.add_argument("--threads", type=int, default=32)
+    run.add_argument(
+        "--source", type=int, default=None,
+        help="traversal source (default: the largest out-degree hub)",
+    )
+    run.add_argument("--max-iterations", type=int, default=30)
+    run.add_argument("--trace", help="write per-iteration CSV here")
+
+    bench = sub.add_parser("bench", help="regenerate one paper experiment")
+    bench.add_argument("--experiment", choices=sorted(EXPERIMENTS), required=True)
+    return parser
+
+
+def _load_image(args):
+    if args.dataset:
+        return load_dataset(args.dataset)
+    if args.edges:
+        if args.edges.endswith(".npz"):
+            edges, num_vertices = load_edges_npz(args.edges)
+        else:
+            edges, num_vertices = load_edges_text(args.edges)
+        return build_directed(edges, num_vertices, name="cli-graph")
+    raise SystemExit("run needs --dataset or --edges")
+
+
+def cmd_generate(args) -> int:
+    dataset = DATASETS[args.dataset]
+    edges, num_vertices = dataset.builder()
+    save_edges_npz(args.out, edges, num_vertices)
+    print(
+        f"wrote {args.dataset}: {num_vertices:,} vertices, "
+        f"{len(edges):,} edges -> {args.out}"
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    image = _load_image(args)
+    mode = ExecutionMode(args.mode)
+    engine = make_engine(
+        image,
+        mode=mode,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+        num_threads=args.threads,
+    )
+    tracer = IterationTracer(engine) if args.trace else None
+    if tracer:
+        with tracer:
+            result = run_algorithm(
+                engine, args.algorithm, source=args.source,
+                max_iterations=args.max_iterations,
+            )
+        tracer.write_csv(args.trace)
+        print(f"wrote {tracer.num_iterations}-iteration trace -> {args.trace}")
+    else:
+        result = run_algorithm(
+            engine, args.algorithm, source=args.source,
+            max_iterations=args.max_iterations,
+        )
+    row = result_row(mode.value, args.algorithm, result)
+    print(format_table([row], title=f"{args.algorithm} on {image.name}"))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    rows = EXPERIMENTS[args.experiment]()
+    print(format_table(rows, title=args.experiment))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "generate":
+        return cmd_generate(args)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "bench":
+        return cmd_bench(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The FlashGraph engine (§3).
+
+A semi-external-memory, vertex-centric graph engine: algorithmic vertex
+state stays in RAM, edge lists are read on demand from SAFS, computation
+overlaps I/O through the asynchronous user-task interface, and I/O requests
+are conservatively merged before they reach the device queues.
+
+Public surface:
+
+- :class:`~repro.core.engine.GraphEngine` — run a vertex program over a
+  :class:`~repro.graph.builder.GraphImage`, in semi-external or in-memory
+  mode.
+- :class:`~repro.core.vertex_program.VertexProgram` — the user API:
+  ``run`` / ``run_on_vertex`` / ``run_on_message`` /
+  ``run_on_iteration_end`` (Figure 3 of the paper).
+- :class:`~repro.core.config.EngineConfig` — threads, scheduling order,
+  merging discipline, partitioning parameters.
+- :class:`~repro.core.engine.RunResult` — simulated runtime, utilisation
+  and memory accounting for one run.
+"""
+
+from repro.core.config import EngineConfig, ExecutionMode, PartitionStrategy
+from repro.core.engine import GraphEngine, RunResult
+from repro.core.messages import MessageBuffer
+from repro.core.partition import HashPartitioner, RangePartitioner
+from repro.core.scheduler import VertexScheduler, make_scheduler
+from repro.core.vertex_program import GraphContext, VertexProgram
+
+__all__ = [
+    "EngineConfig",
+    "ExecutionMode",
+    "PartitionStrategy",
+    "GraphEngine",
+    "RunResult",
+    "MessageBuffer",
+    "RangePartitioner",
+    "HashPartitioner",
+    "VertexScheduler",
+    "make_scheduler",
+    "GraphContext",
+    "VertexProgram",
+]

@@ -1,0 +1,105 @@
+"""Buffered message passing between vertices (§3.4.1).
+
+Vertices never write each other's state — they send messages, which the
+worker threads buffer and deliver in batches, avoiding both races on
+vertex state and per-message synchronisation.  Multicast sends one copy of
+a message per *thread* rather than per recipient; vertex activation is a
+data-free multicast.
+
+Most algorithms' messages are commutative aggregations, so the buffer
+supports *combiners* (sum/min/max): logical messages are counted and
+charged individually, but deliveries to the same destination are combined
+before ``run_on_message`` fires — the same trick Pregel-style systems use
+to keep buffers small.
+"""
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Supported combiners: how concurrent messages to one vertex collapse.
+COMBINERS = ("sum", "min", "max")
+
+
+class MessageBuffer:
+    """Accumulates one iteration's messages until the barrier delivery."""
+
+    def __init__(self, combiner: Optional[str] = None) -> None:
+        if combiner is not None and combiner not in COMBINERS:
+            raise ValueError(f"unknown combiner {combiner!r}; pick from {COMBINERS}")
+        self.combiner = combiner
+        self._dest_chunks: List[np.ndarray] = []
+        self._value_chunks: List[np.ndarray] = []
+        self._pending = 0
+        self._peak_pending = 0
+
+    def send(self, dests: np.ndarray, values) -> int:
+        """Buffer messages ``values[i] -> dests[i]``; returns the count.
+
+        ``values`` may be a scalar (multicast payload: one value to every
+        destination) or an array aligned with ``dests``.
+        """
+        dests = np.atleast_1d(np.asarray(dests, dtype=np.int64))
+        if dests.size == 0:
+            return 0
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 0:
+            values = np.broadcast_to(values, dests.shape)
+        elif values.shape != dests.shape:
+            raise ValueError("values must be scalar or match dests in shape")
+        self._dest_chunks.append(dests)
+        self._value_chunks.append(np.ascontiguousarray(values))
+        self._pending += dests.size
+        if self._pending > self._peak_pending:
+            self._peak_pending = self._pending
+        return int(dests.size)
+
+    @property
+    def pending(self) -> int:
+        """Messages buffered and not yet delivered."""
+        return self._pending
+
+    @property
+    def peak_pending(self) -> int:
+        """The largest buffer occupancy seen (memory accounting)."""
+        return self._peak_pending
+
+    def deliver(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Drain the buffer, combining per destination.
+
+        Returns ``(dests, values, counts)`` with ``dests`` unique and
+        sorted and ``counts[i]`` the number of logical messages combined
+        into delivery ``i`` (the receiver is charged per logical message).
+        With no combiner, messages to the same destination stay separate
+        (``dests`` may repeat, grouped and sorted; counts are all 1).
+        """
+        if not self._dest_chunks:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, np.zeros(0), empty
+        dests = np.concatenate(self._dest_chunks)
+        values = np.concatenate(self._value_chunks)
+        self._dest_chunks.clear()
+        self._value_chunks.clear()
+        self._pending = 0
+        if self.combiner is None:
+            order = np.argsort(dests, kind="stable")
+            return dests[order], values[order], np.ones(dests.size, dtype=np.int64)
+        unique, inverse, counts = np.unique(
+            dests, return_inverse=True, return_counts=True
+        )
+        if self.combiner == "sum":
+            out = np.zeros(unique.size)
+            np.add.at(out, inverse, values)
+        elif self.combiner == "min":
+            out = np.full(unique.size, np.inf)
+            np.minimum.at(out, inverse, values)
+        else:  # max
+            out = np.full(unique.size, -np.inf)
+            np.maximum.at(out, inverse, values)
+        return unique, out, counts
+
+    def clear(self) -> None:
+        """Drop everything without delivering."""
+        self._dest_chunks.clear()
+        self._value_chunks.clear()
+        self._pending = 0

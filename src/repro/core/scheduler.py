@@ -1,0 +1,62 @@
+"""Per-thread vertex scheduling (§3.7).
+
+The default scheduler orders active vertices by ID — the order edge lists
+are laid out on SSDs — so requests from one batch merge into large
+sequential reads.  For algorithms insensitive to ordering it alternates the
+scan direction each iteration, re-touching the pages cached at the end of
+the previous iteration first.  Algorithms may install a custom order
+(scan statistics runs largest-degree-first).
+"""
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.config import ScheduleOrder
+
+#: A custom ordering: ``(active_ids, iteration) -> ordered_ids``.
+OrderFn = Callable[[np.ndarray, int], np.ndarray]
+
+
+class VertexScheduler:
+    """Orders one thread's active vertices for an iteration."""
+
+    def __init__(
+        self,
+        order: ScheduleOrder = ScheduleOrder.BY_ID,
+        alternate: bool = True,
+        custom_order: Optional[OrderFn] = None,
+        seed: int = 0,
+    ) -> None:
+        if order is ScheduleOrder.CUSTOM and custom_order is None:
+            raise ValueError("CUSTOM order needs a custom_order function")
+        self.order = order
+        self.alternate = alternate
+        self.custom_order = custom_order
+        self._rng = np.random.default_rng(seed)
+
+    def schedule(self, active: np.ndarray, iteration: int) -> np.ndarray:
+        """The execution order for ``active`` in ``iteration``."""
+        active = np.asarray(active, dtype=np.int64)
+        if active.size == 0:
+            return active
+        if self.order is ScheduleOrder.CUSTOM:
+            ordered = np.asarray(self.custom_order(active, iteration), dtype=np.int64)
+            if ordered.size != active.size:
+                raise ValueError("custom order must be a permutation of the input")
+            return ordered
+        if self.order is ScheduleOrder.RANDOM:
+            return self._rng.permutation(active)
+        ordered = np.sort(active)
+        if self.alternate and iteration % 2 == 1:
+            ordered = ordered[::-1]
+        return ordered
+
+
+def make_scheduler(config, custom_order: Optional[OrderFn] = None) -> VertexScheduler:
+    """Build the scheduler an :class:`~repro.core.config.EngineConfig` asks for."""
+    return VertexScheduler(
+        order=config.schedule_order,
+        alternate=config.alternate_scan_direction,
+        custom_order=custom_order,
+    )

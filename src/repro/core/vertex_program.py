@@ -1,0 +1,148 @@
+"""The vertex-centric programming interface (§3.4, Figure 3).
+
+A :class:`VertexProgram` expresses one algorithm.  FlashGraph's C++ API
+instantiates one object per vertex; in Python that costs too much memory
+and call overhead, so the program here is a *flyweight*: one object whose
+methods receive the vertex ID, with per-vertex state kept in numpy arrays
+owned by the program.  The four entry points and their contracts are the
+paper's:
+
+- ``run(g, vertex)`` — entry point for an active vertex each iteration.
+  May only touch the vertex's own state; edge lists must be requested
+  explicitly (``g.request_vertices``) because activation without
+  computation is common and a default read would waste I/O bandwidth.
+- ``run_on_vertex(g, vertex, page_vertex)`` — fires when a requested edge
+  list arrives, executing against the SAFS page cache.
+- ``run_on_message(g, vertex, value)`` — fires on message delivery, even
+  for inactive vertices.
+- ``run_on_iteration_end(g)`` — fires at the iteration barrier when the
+  program asked for the notification (``g.notify_iteration_end()``).
+"""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.page_vertex import PageVertex
+from repro.graph.types import EdgeType
+
+
+class VertexProgram:
+    """Base class for all graph algorithms run by the engine."""
+
+    #: Which edge lists ``request_self`` fetches by default.
+    edge_type: EdgeType = EdgeType.OUT
+    #: How concurrent messages to one vertex combine ("sum"/"min"/"max",
+    #: or None to deliver individually).
+    combiner: Optional[str] = "sum"
+    #: Per-vertex algorithmic state footprint, for memory accounting
+    #: (BFS needs 1 byte; most algorithms stay under 8).
+    state_bytes_per_vertex: int = 8
+
+    def run(self, g: "GraphContext", vertex: int) -> None:
+        """Called once per iteration on each active vertex."""
+
+    def run_on_vertex(self, g: "GraphContext", vertex: int, page_vertex: PageVertex) -> None:
+        """Called when an edge list this vertex requested arrives."""
+
+    def run_on_message(self, g: "GraphContext", vertex: int, value: float) -> None:
+        """Called when (combined) messages for this vertex are delivered."""
+
+    def run_on_iteration_end(self, g: "GraphContext") -> None:
+        """Called at the barrier if ``g.notify_iteration_end()`` was set."""
+
+    def custom_order(self, active: np.ndarray, iteration: int) -> np.ndarray:
+        """Ordering for ``ScheduleOrder.CUSTOM`` (override to use)."""
+        raise NotImplementedError
+
+
+class GraphContext:
+    """The ``graph_engine &g`` handle passed to every vertex method.
+
+    Thin facade over the engine: everything it does is buffered into the
+    engine's current worker, so CPU cost lands on the right virtual thread.
+    """
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+
+    # -- graph metadata -------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self._engine.image.num_vertices
+
+    @property
+    def iteration(self) -> int:
+        """The current iteration number, starting at 0."""
+        return self._engine.iteration
+
+    def degree(self, vertex: int, edge_type: Optional[EdgeType] = None) -> int:
+        """Degree from the in-memory graph index (no I/O)."""
+        edge_type = self._single(edge_type)
+        return self._engine.image.index(edge_type).degree(vertex)
+
+    def degrees_of(self, vertices: np.ndarray, edge_type: Optional[EdgeType] = None) -> np.ndarray:
+        """Vectorised :meth:`degree`."""
+        edge_type = self._single(edge_type)
+        return self._engine.image.index(edge_type).degrees_of(vertices)
+
+    # -- I/O ------------------------------------------------------------
+
+    def request_vertices(
+        self,
+        requester: int,
+        targets,
+        edge_type: Optional[EdgeType] = None,
+        with_attrs: bool = False,
+    ) -> None:
+        """Ask SAFS for the edge lists of ``targets``.
+
+        Each arriving list triggers ``run_on_vertex(g, requester, view)``.
+        ``targets`` may be the requester itself (the common case) or any
+        other vertices (triangle counting, scan statistics).  With
+        ``with_attrs`` the detached edge-attribute block is fetched and
+        paired with each list (SSSP's weights).
+        """
+        edge_type = edge_type or self._program_edge_type()
+        targets = np.atleast_1d(np.asarray(targets, dtype=np.int64))
+        for direction in edge_type.directions():
+            self._engine._buffer_request(requester, targets, direction, with_attrs)
+
+    def request_self(self, vertex: int, edge_type: Optional[EdgeType] = None) -> None:
+        """Shorthand for requesting the vertex's own edge list(s)."""
+        self.request_vertices(vertex, np.asarray([vertex]), edge_type)
+
+    # -- communication ---------------------------------------------------
+
+    def activate(self, vertices) -> None:
+        """Activate ``vertices`` for the next iteration (multicast)."""
+        vertices = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        self._engine._buffer_activation(vertices)
+
+    def send_message(self, dests, values) -> None:
+        """Send ``values`` to ``dests`` (scalar value = multicast)."""
+        dests = np.atleast_1d(np.asarray(dests, dtype=np.int64))
+        self._engine._buffer_message(dests, values)
+
+    def notify_iteration_end(self) -> None:
+        """Request a ``run_on_iteration_end`` callback at this barrier."""
+        self._engine._request_iteration_end()
+
+    # -- accounting -------------------------------------------------------
+
+    def charge_edges(self, count: int) -> None:
+        """Charge extra per-edge CPU work to the current worker (e.g.
+        triangle counting's neighbor-list intersections)."""
+        self._engine._charge_edges(count)
+
+    # -- internals --------------------------------------------------------
+
+    def _program_edge_type(self) -> EdgeType:
+        return self._engine.program.edge_type
+
+    def _single(self, edge_type: Optional[EdgeType]) -> EdgeType:
+        edge_type = edge_type or self._program_edge_type()
+        if edge_type is EdgeType.BOTH:
+            return EdgeType.OUT
+        return edge_type

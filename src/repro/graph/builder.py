@@ -1,0 +1,233 @@
+"""Building FlashGraph images from raw edge arrays.
+
+A :class:`GraphImage` bundles everything one graph needs:
+
+- the serialized on-SSD edge-list files (out-edges, and in-edges for a
+  directed graph) plus optional detached attribute files,
+- one compact :class:`~repro.graph.index.GraphIndex` per direction,
+- the CSR adjacency kept for in-memory mode and for verification.
+
+The paper amortises construction cost by using a single external-memory
+structure for every algorithm; likewise one image serves BFS through scan
+statistics unchanged.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.format import (
+    adjacency_from_edges,
+    serialize_adjacency,
+    serialize_attributes,
+)
+from repro.graph.index import GraphIndex, build_index
+from repro.graph.types import EdgeType
+
+
+@dataclass
+class CSR:
+    """A compressed-sparse-row adjacency."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Neighbor IDs of ``vertex`` (zero-copy slice)."""
+        return self.indices[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+
+@dataclass
+class GraphImage:
+    """One graph in both representations (in-memory and on-SSD)."""
+
+    name: str
+    num_vertices: int
+    directed: bool
+    out_csr: CSR
+    in_csr: CSR
+    out_bytes: bytes
+    in_bytes: bytes
+    out_index: GraphIndex
+    in_index: GraphIndex
+    attr_bytes: Dict[EdgeType, bytes] = field(default_factory=dict)
+    attr_offsets: Dict[EdgeType, np.ndarray] = field(default_factory=dict)
+    #: Logical edge count: each directed edge once; each undirected edge
+    #: once even though it is stored in both endpoints' lists.
+    edge_count: int = 0
+
+    @property
+    def num_edges(self) -> int:
+        """Logical edge count of the input graph."""
+        return self.edge_count
+
+    def csr(self, edge_type: EdgeType) -> CSR:
+        """The adjacency for one direction."""
+        if edge_type is EdgeType.IN:
+            return self.in_csr
+        if edge_type is EdgeType.OUT:
+            return self.out_csr
+        raise ValueError("BOTH must be expanded before picking a CSR")
+
+    def index(self, edge_type: EdgeType) -> GraphIndex:
+        """The compact index for one direction."""
+        if edge_type is EdgeType.IN:
+            return self.in_index
+        if edge_type is EdgeType.OUT:
+            return self.out_index
+        raise ValueError("BOTH must be expanded before picking an index")
+
+    def file_bytes(self, edge_type: EdgeType) -> bytes:
+        """The serialized edge-list file for one direction."""
+        if edge_type is EdgeType.IN:
+            return self.in_bytes
+        if edge_type is EdgeType.OUT:
+            return self.out_bytes
+        raise ValueError("BOTH must be expanded before picking a file")
+
+    def file_name(self, edge_type: EdgeType) -> str:
+        """The SAFS name of one direction's edge-list file."""
+        return f"{self.name}.{edge_type.value}-edges"
+
+    def storage_bytes(self) -> int:
+        """Total on-SSD footprint of the image."""
+        total = len(self.out_bytes)
+        if self.directed:
+            total += len(self.in_bytes)
+        total += sum(len(b) for b in self.attr_bytes.values())
+        return total
+
+    def index_memory_bytes(self) -> int:
+        """RAM held by the compact indexes (in+out for directed graphs)."""
+        total = self.out_index.memory_bytes()
+        if self.directed:
+            total += self.in_index.memory_bytes()
+        return total
+
+    def attach_to_safs(self, safs) -> None:
+        """Create this image's files inside a SAFS instance."""
+        safs.create_file(self.file_name(EdgeType.OUT), self.out_bytes)
+        if self.directed:
+            safs.create_file(self.file_name(EdgeType.IN), self.in_bytes)
+        for edge_type, data in self.attr_bytes.items():
+            safs.create_file(f"{self.name}.{edge_type.value}-attrs", data)
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"GraphImage(name={self.name!r}, {kind}, "
+            f"V={self.num_vertices}, E={self.num_edges})"
+        )
+
+
+def _build_direction(
+    edges: np.ndarray, num_vertices: int
+) -> Tuple[CSR, bytes, GraphIndex]:
+    indptr, indices = adjacency_from_edges(edges, num_vertices)
+    data, offsets = serialize_adjacency(indptr, indices)
+    index = build_index(np.diff(indptr), offsets)
+    return CSR(indptr, indices), data, index
+
+
+def build_directed(
+    edges: np.ndarray,
+    num_vertices: int,
+    name: str = "graph",
+    weights: Optional[np.ndarray] = None,
+) -> GraphImage:
+    """Build a directed image from an ``(m, 2)`` src→dst edge array.
+
+    Duplicate edges are dropped (FlashGraph's input graphs are simple).
+    ``weights``, when given, become detached out-edge attributes.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    edges, weights = _dedup(edges, weights)
+    out_csr, out_bytes, out_index = _build_direction(edges, num_vertices)
+    reversed_edges = edges[:, ::-1]
+    in_csr, in_bytes, in_index = _build_direction(reversed_edges, num_vertices)
+    image = GraphImage(
+        name=name,
+        num_vertices=num_vertices,
+        directed=True,
+        out_csr=out_csr,
+        in_csr=in_csr,
+        out_bytes=out_bytes,
+        in_bytes=in_bytes,
+        out_index=out_index,
+        in_index=in_index,
+        edge_count=int(edges.shape[0]),
+    )
+    if weights is not None:
+        _attach_weights(image, edges, weights, num_vertices)
+    return image
+
+
+def build_undirected(
+    edges: np.ndarray,
+    num_vertices: int,
+    name: str = "graph",
+    weights: Optional[np.ndarray] = None,
+) -> GraphImage:
+    """Build an undirected image: each edge is stored in both endpoints'
+    lists, self-loops once.  A single edge-list file serves both
+    directions (``in_*`` aliases ``out_*``)."""
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    # Canonicalise (u <= v) then deduplicate.
+    lo = edges.min(axis=1)
+    hi = edges.max(axis=1)
+    edges = np.stack([lo, hi], axis=1)
+    edges, weights = _dedup(edges, weights)
+    loops = edges[:, 0] == edges[:, 1]
+    sym = np.concatenate([edges, edges[~loops][:, ::-1]])
+    sym_weights = None
+    if weights is not None:
+        sym_weights = np.concatenate([weights, weights[~loops]])
+    csr, data, index = _build_direction(sym, num_vertices)
+    image = GraphImage(
+        name=name,
+        num_vertices=num_vertices,
+        directed=False,
+        out_csr=csr,
+        in_csr=csr,
+        out_bytes=data,
+        in_bytes=data,
+        out_index=index,
+        in_index=index,
+        edge_count=int(edges.shape[0]),
+    )
+    if sym_weights is not None:
+        _attach_weights(image, sym, sym_weights, num_vertices)
+    return image
+
+
+def _dedup(
+    edges: np.ndarray, weights: Optional[np.ndarray]
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    if edges.size == 0:
+        return edges, weights
+    keys = edges[:, 0] * (edges.max() + 1) + edges[:, 1]
+    _, unique_idx = np.unique(keys, return_index=True)
+    unique_idx.sort()
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float32)[unique_idx]
+    return edges[unique_idx], weights
+
+
+def _attach_weights(
+    image: GraphImage, edges: np.ndarray, weights: np.ndarray, num_vertices: int
+) -> None:
+    # Attributes follow the CSR edge order: sort by (src, dst) like lexsort
+    # inside adjacency_from_edges.
+    order = np.lexsort((edges[:, 1], edges[:, 0]))
+    ordered = np.asarray(weights, dtype=np.float32)[order]
+    data, offsets = serialize_attributes(image.out_csr.indptr, ordered)
+    image.attr_bytes[EdgeType.OUT] = data
+    image.attr_offsets[EdgeType.OUT] = offsets

@@ -1,0 +1,147 @@
+"""The external-memory edge-list format (§3.5.2).
+
+One file holds the edge lists of every vertex, ordered by vertex ID.  Each
+edge list is::
+
+    +------------+------------+---------------------------+
+    | vertex id  |   degree   |  neighbor ids (u32 each)  |
+    |   (u32)    |   (u32)    |                           |
+    +------------+------------+---------------------------+
+
+Edge *attributes* are stored in a separate file with the same per-vertex
+ordering (one fixed-width value per edge), so algorithms that do not need
+attributes never read them — the column-store trick the paper borrows from
+database systems.
+
+Everything is little-endian and 4-byte aligned, so a
+:class:`~repro.graph.page_vertex.PageVertex` can be parsed zero-copy from
+cached SAFS pages with ``numpy.frombuffer``.
+"""
+
+from typing import Tuple
+
+import numpy as np
+
+#: Bytes per edge-list header (vertex id + degree, u32 each).
+HEADER_BYTES = 8
+#: Bytes per stored edge (a u32 neighbor id).
+EDGE_BYTES = 4
+#: Bytes per stored edge attribute (a float32 weight by default).
+ATTR_BYTES = 4
+
+
+def edge_list_size(degree: int) -> int:
+    """On-SSD bytes of one edge list with ``degree`` edges."""
+    if degree < 0:
+        raise ValueError("degree cannot be negative")
+    return HEADER_BYTES + degree * EDGE_BYTES
+
+
+def serialize_adjacency(
+    indptr: np.ndarray, indices: np.ndarray
+) -> Tuple[bytes, np.ndarray]:
+    """Serialise a CSR adjacency into the on-SSD edge-list file.
+
+    ``indptr`` has ``n + 1`` entries; vertex ``v``'s neighbors are
+    ``indices[indptr[v]:indptr[v + 1]]`` and must already be sorted by the
+    caller if sortedness matters to the algorithm.
+
+    Returns ``(file_bytes, offsets)`` where ``offsets[v]`` is the byte
+    offset of vertex ``v``'s edge list and ``offsets[n]`` the file size.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.uint32)
+    if indptr.ndim != 1 or indptr.size < 1:
+        raise ValueError("indptr must be a 1-D array with at least one entry")
+    if indptr[0] != 0 or indptr[-1] != indices.size:
+        raise ValueError("indptr must start at 0 and end at len(indices)")
+    if np.any(np.diff(indptr) < 0):
+        raise ValueError("indptr must be non-decreasing")
+    num_vertices = indptr.size - 1
+    degrees = np.diff(indptr)
+    sizes = HEADER_BYTES + degrees * EDGE_BYTES
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+
+    # Build the whole file as one u32 array: headers interleaved with edges.
+    words = np.empty(offsets[-1] // 4, dtype="<u4")
+    word_offsets = offsets[:-1] // 4
+    words[word_offsets] = np.arange(num_vertices, dtype=np.uint32)
+    words[word_offsets + 1] = degrees.astype(np.uint32)
+    # Scatter the neighbor ids: target word index for each edge is its
+    # vertex's data start plus its rank within the vertex.
+    if indices.size:
+        edge_vertex = np.repeat(np.arange(num_vertices), degrees)
+        rank = np.arange(indices.size, dtype=np.int64) - indptr[edge_vertex]
+        words[word_offsets[edge_vertex] + 2 + rank] = indices
+    return words.tobytes(), offsets
+
+
+def serialize_attributes(
+    indptr: np.ndarray, attrs: np.ndarray
+) -> Tuple[bytes, np.ndarray]:
+    """Serialise per-edge attributes into the detached attribute file.
+
+    ``attrs`` holds one float32 per edge in the same order as the CSR
+    ``indices``.  Returns ``(file_bytes, offsets)`` with ``offsets[v]`` the
+    byte offset of vertex ``v``'s attribute block.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    attrs = np.asarray(attrs, dtype="<f4")
+    if attrs.size != indptr[-1]:
+        raise ValueError("one attribute per edge is required")
+    degrees = np.diff(indptr)
+    offsets = np.zeros(indptr.size, dtype=np.int64)
+    np.cumsum(degrees * ATTR_BYTES, out=offsets[1:])
+    return attrs.tobytes(), offsets
+
+
+def parse_edge_list(data: memoryview, offset: int = 0) -> Tuple[int, np.ndarray]:
+    """Parse one edge list at ``offset`` of a file view, zero-copy.
+
+    Returns ``(vertex_id, neighbors)``.  Raises :class:`ValueError` on a
+    truncated buffer — a header promising more edges than the view holds.
+    """
+    if offset < 0 or offset + HEADER_BYTES > len(data):
+        raise ValueError("buffer too small for an edge-list header")
+    header = np.frombuffer(data, dtype="<u4", count=2, offset=offset)
+    vertex_id = int(header[0])
+    degree = int(header[1])
+    end = offset + HEADER_BYTES + degree * EDGE_BYTES
+    if end > len(data):
+        raise ValueError(
+            f"edge list of vertex {vertex_id} truncated: needs {end - offset} "
+            f"bytes at offset {offset}, buffer has {len(data) - offset}"
+        )
+    neighbors = np.frombuffer(
+        data, dtype="<u4", count=degree, offset=offset + HEADER_BYTES
+    )
+    return vertex_id, neighbors
+
+
+def adjacency_from_edges(
+    edges: np.ndarray, num_vertices: int, sort_neighbors: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build CSR ``(indptr, indices)`` from an ``(m, 2)`` edge array.
+
+    Parallel edges are kept (the generators may emit them deliberately);
+    callers wanting simple graphs deduplicate first.
+    """
+    edges = np.asarray(edges)
+    if edges.size == 0:
+        return np.zeros(num_vertices + 1, dtype=np.int64), np.zeros(0, dtype=np.uint32)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError("edges must be an (m, 2) array")
+    if edges.min() < 0 or edges.max() >= num_vertices:
+        raise ValueError("edge endpoints must lie in [0, num_vertices)")
+    src = edges[:, 0].astype(np.int64)
+    dst = edges[:, 1].astype(np.uint32)
+    if sort_neighbors:
+        order = np.lexsort((dst, src))
+    else:
+        order = np.argsort(src, kind="stable")
+    indices = dst[order]
+    counts = np.bincount(src, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, indices

@@ -1,0 +1,88 @@
+"""Loading and saving edge lists (text and ``.npz``), plus networkx bridges.
+
+FlashGraph's inputs are plain edge lists; these helpers exist so the
+examples can persist generated graphs and so tests can round-trip against
+networkx reference implementations.
+"""
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from repro.graph.builder import GraphImage
+
+PathLike = Union[str, Path]
+
+
+def save_edges_text(path: PathLike, edges: np.ndarray, num_vertices: int) -> None:
+    """Write one ``src dst`` pair per line, with a header comment."""
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    with open(path, "w") as f:
+        f.write(f"# vertices: {num_vertices}\n")
+        for u, v in edges:
+            f.write(f"{u} {v}\n")
+
+
+def load_edges_text(path: PathLike) -> Tuple[np.ndarray, int]:
+    """Read an edge list written by :func:`save_edges_text`.
+
+    Files without the header infer ``num_vertices`` as ``max id + 1``.
+    """
+    num_vertices: Optional[int] = None
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "vertices:" in line:
+                    num_vertices = int(line.split("vertices:")[1])
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            rows.append((int(parts[0]), int(parts[1])))
+    edges = np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+    if num_vertices is None:
+        num_vertices = int(edges.max()) + 1 if edges.size else 0
+    return edges, num_vertices
+
+
+def save_edges_npz(path: PathLike, edges: np.ndarray, num_vertices: int) -> None:
+    """Persist an edge array compactly."""
+    np.savez_compressed(
+        path,
+        edges=np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+        num_vertices=np.int64(num_vertices),
+    )
+
+
+def load_edges_npz(path: PathLike) -> Tuple[np.ndarray, int]:
+    """Load an edge array written by :func:`save_edges_npz`."""
+    with np.load(path) as data:
+        return data["edges"], int(data["num_vertices"])
+
+
+def edges_from_networkx(graph: nx.Graph) -> Tuple[np.ndarray, int]:
+    """Convert a networkx (di)graph with integer nodes into our edge array."""
+    nodes = sorted(graph.nodes())
+    if nodes and (nodes[0] != 0 or nodes[-1] != len(nodes) - 1):
+        relabel = {node: i for i, node in enumerate(nodes)}
+        graph = nx.relabel_nodes(graph, relabel)
+    edges = np.asarray(list(graph.edges()), dtype=np.int64).reshape(-1, 2)
+    return edges, graph.number_of_nodes()
+
+
+def image_to_networkx(image: GraphImage) -> nx.Graph:
+    """Rebuild a networkx graph from a :class:`GraphImage` (for tests)."""
+    graph = nx.DiGraph() if image.directed else nx.Graph()
+    graph.add_nodes_from(range(image.num_vertices))
+    indptr = image.out_csr.indptr
+    indices = image.out_csr.indices
+    for v in range(image.num_vertices):
+        for u in indices[indptr[v] : indptr[v + 1]]:
+            graph.add_edge(v, int(u))
+    return graph

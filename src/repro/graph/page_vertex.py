@@ -1,0 +1,83 @@
+"""Zero-copy edge-list views handed to vertex programs.
+
+When an I/O request completes, the SAFS user task runs against the page
+cache and parses the vertex's edge list in place: this is the
+``page_vertex`` argument of ``run_on_vertex`` in the paper's API
+(Figure 3).  No edge data is ever copied into per-vertex buffers.
+"""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.format import parse_edge_list
+from repro.graph.types import EdgeType
+
+
+class PageVertex:
+    """A vertex's edge list parsed out of cached SAFS pages."""
+
+    __slots__ = ("_vertex_id", "_edges", "_edge_type", "_attrs")
+
+    def __init__(
+        self,
+        data: memoryview,
+        edge_type: EdgeType = EdgeType.OUT,
+        attrs: Optional[np.ndarray] = None,
+    ) -> None:
+        self._vertex_id, self._edges = parse_edge_list(data)
+        self._edge_type = edge_type
+        self._attrs = attrs
+
+    @classmethod
+    def from_arrays(
+        cls,
+        vertex_id: int,
+        edges: np.ndarray,
+        edge_type: EdgeType = EdgeType.OUT,
+        attrs: Optional[np.ndarray] = None,
+    ) -> "PageVertex":
+        """Build a view directly from in-memory arrays (in-memory mode)."""
+        view = cls.__new__(cls)
+        view._vertex_id = int(vertex_id)
+        view._edges = np.asarray(edges, dtype=np.uint32)
+        view._edge_type = edge_type
+        view._attrs = attrs
+        return view
+
+    @property
+    def vertex_id(self) -> int:
+        """The vertex this edge list belongs to."""
+        return self._vertex_id
+
+    @property
+    def edge_type(self) -> EdgeType:
+        """Which direction's list this is (IN or OUT)."""
+        return self._edge_type
+
+    @property
+    def num_edges(self) -> int:
+        """Degree in this direction."""
+        return int(self._edges.size)
+
+    def read_edges(self) -> np.ndarray:
+        """The neighbor IDs, zero-copy (paper: ``v.read_edges(dest_buf)``)."""
+        return self._edges
+
+    def read_edge_attrs(self) -> np.ndarray:
+        """Per-edge attributes, when the algorithm requested them."""
+        if self._attrs is None:
+            raise ValueError(
+                f"vertex {self._vertex_id}: edge attributes were not requested"
+            )
+        return self._attrs
+
+    @property
+    def has_attrs(self) -> bool:
+        return self._attrs is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"PageVertex(id={self._vertex_id}, degree={self.num_edges}, "
+            f"type={self._edge_type.value})"
+        )

@@ -1,0 +1,87 @@
+"""Graph transformations.
+
+Construction-time utilities a downstream user needs around the engine:
+extracting subgraphs, reversing edge directions, projecting a directed
+graph to its undirected form, and isolating the largest weakly-connected
+component (the usual preprocessing step before running expensive
+analytics on web crawls).
+
+All functions return new :class:`~repro.graph.builder.GraphImage` objects
+with densely renumbered vertex IDs plus the mapping back to the original
+IDs — FlashGraph's on-SSD format requires dense IDs (§3.5).
+"""
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.builder import GraphImage, build_directed, build_undirected
+
+
+def edge_array(image: GraphImage) -> np.ndarray:
+    """The image's logical edges as an ``(m, 2)`` array.
+
+    Directed images return each edge once; undirected images return each
+    stored direction once with ``u <= v``.
+    """
+    indptr = image.out_csr.indptr
+    indices = image.out_csr.indices.astype(np.int64)
+    src = np.repeat(np.arange(image.num_vertices, dtype=np.int64), np.diff(indptr))
+    edges = np.stack([src, indices], axis=1)
+    if not image.directed:
+        edges = edges[edges[:, 0] <= edges[:, 1]]
+    return edges
+
+
+def reverse(image: GraphImage) -> GraphImage:
+    """The transpose graph: every edge ``u -> v`` becomes ``v -> u``."""
+    if not image.directed:
+        raise ValueError("reversing an undirected graph is a no-op")
+    edges = edge_array(image)
+    return build_directed(
+        edges[:, ::-1], image.num_vertices, name=f"{image.name}-rev"
+    )
+
+
+def to_undirected(image: GraphImage) -> GraphImage:
+    """The undirected projection of a directed image."""
+    if not image.directed:
+        return image
+    return build_undirected(
+        edge_array(image), image.num_vertices, name=f"{image.name}-und"
+    )
+
+
+def subgraph(image: GraphImage, vertices: np.ndarray) -> Tuple[GraphImage, np.ndarray]:
+    """The induced subgraph on ``vertices``.
+
+    Returns ``(sub_image, original_ids)`` where ``original_ids[new_id]``
+    recovers the source vertex of each renumbered vertex.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if vertices.size == 0:
+        raise ValueError("a subgraph needs at least one vertex")
+    if vertices.min() < 0 or vertices.max() >= image.num_vertices:
+        raise ValueError("subgraph vertices out of range")
+    keep = np.zeros(image.num_vertices, dtype=bool)
+    keep[vertices] = True
+    renumber = np.full(image.num_vertices, -1, dtype=np.int64)
+    renumber[vertices] = np.arange(vertices.size)
+
+    edges = edge_array(image)
+    mask = keep[edges[:, 0]] & keep[edges[:, 1]]
+    kept = renumber[edges[mask]]
+    builder = build_directed if image.directed else build_undirected
+    sub = builder(kept, int(vertices.size), name=f"{image.name}-sub")
+    return sub, vertices
+
+
+def largest_wcc(image: GraphImage) -> Tuple[GraphImage, np.ndarray]:
+    """The induced subgraph on the largest weakly-connected component."""
+    from repro.baselines.common import wcc_trace
+
+    labels, _ = wcc_trace(image)
+    values, counts = np.unique(labels, return_counts=True)
+    biggest = values[np.argmax(counts)]
+    members = np.nonzero(labels == biggest)[0]
+    return subgraph(image, members)

@@ -1,0 +1,28 @@
+"""Shared vertex/edge types."""
+
+import enum
+
+#: Vertex identifiers are dense 32-bit integers, as in FlashGraph's on-SSD
+#: format (the paper's largest graph has 3.4B vertices, within u32 range).
+VertexID = int
+
+#: Sentinel for "no vertex" (the all-ones u32).
+INVALID_VERTEX: VertexID = 0xFFFFFFFF
+
+
+class EdgeType(enum.Enum):
+    """Which edge lists of a directed vertex an algorithm requests.
+
+    The on-SSD layout stores in-edges and out-edges in separate files so
+    that algorithms needing only one direction read half the data (§3.5.2).
+    """
+
+    OUT = "out"
+    IN = "in"
+    BOTH = "both"
+
+    def directions(self):
+        """The single directions this request expands to."""
+        if self is EdgeType.BOTH:
+            return (EdgeType.OUT, EdgeType.IN)
+        return (self,)

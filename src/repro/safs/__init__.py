@@ -1,0 +1,40 @@
+"""SAFS — the set-associative file system (Zheng et al. [32], [31]).
+
+SAFS is a user-space filesystem for SSD arrays: dedicated per-SSD I/O
+threads, a scalable set-associative page cache, and an asynchronous
+*user-task* I/O interface in which a user-defined task runs inside the
+filesystem against the page cache when its request completes — no buffer
+allocation, no copy.
+
+This package implements SAFS faithfully over the simulated SSD array:
+
+- :mod:`repro.safs.page` — SAFS pages over an in-memory flash image.
+- :mod:`repro.safs.page_cache` — the set-associative page cache; hit/miss
+  behaviour is computed exactly, page by page.
+- :mod:`repro.safs.io_request` — request representation plus FlashGraph's
+  conservative merge rule (same or adjacent pages only).
+- :mod:`repro.safs.io_scheduler` — dispatch to per-device queues, optional
+  filesystem-level merging within a bounded queue window.
+- :mod:`repro.safs.user_task` — the async user-task abstraction.
+- :mod:`repro.safs.filesystem` — the SAFS facade the engine talks to.
+"""
+
+from repro.safs.filesystem import SAFS, SAFSConfig
+from repro.safs.io_request import IORequest, MergedRequest, merge_requests
+from repro.safs.page import Page, SAFSFile
+from repro.safs.page_cache import PageCache, PageCacheConfig
+from repro.safs.user_task import CompletedTask, UserTask
+
+__all__ = [
+    "SAFS",
+    "SAFSConfig",
+    "IORequest",
+    "MergedRequest",
+    "merge_requests",
+    "Page",
+    "SAFSFile",
+    "PageCache",
+    "PageCacheConfig",
+    "CompletedTask",
+    "UserTask",
+]

@@ -1,0 +1,159 @@
+"""The SAFS facade the graph engine talks to.
+
+Responsibilities:
+
+- file namespace (create/open of simulated on-SSD files),
+- the asynchronous submit path: requests in, :class:`CompletedTask`s out,
+  in completion order, with CPU issue costs accounted,
+- both merge disciplines used by the Figure 12 ablation — requests merged
+  by the caller (FlashGraph's engine-level merging) or merged here within a
+  bounded queue window at kernel-like CPU cost (filesystem/block-level
+  merging).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.safs.io_request import IORequest, MergedRequest, merge_requests
+from repro.safs.io_scheduler import IOScheduler
+from repro.safs.page import DEFAULT_PAGE_SIZE, SAFSFile
+from repro.safs.page_cache import PageCache, PageCacheConfig
+from repro.safs.user_task import CompletedTask
+from repro.sim.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.sim.ssd_array import SSDArray, SSDArrayConfig
+from repro.sim.stats import StatsCollector
+
+
+@dataclass(frozen=True)
+class SAFSConfig:
+    """Filesystem-wide knobs."""
+
+    #: SAFS page size in bytes (Figure 13 sweeps 4KB → 1MB).
+    page_size: int = DEFAULT_PAGE_SIZE
+    #: Page cache capacity in bytes (Figure 14 sweeps 1GB → 32GB).
+    cache_bytes: int = 1 << 30
+    #: Pages per cache slot.
+    cache_associativity: int = 8
+    #: Per-slot eviction policy ("lru" or "gclock", cf. [31]).
+    cache_eviction: str = "lru"
+    #: Queue window for filesystem-level merging (requests the FS can see
+    #: at once; FlashGraph's engine has a global view instead).
+    fs_merge_window: int = 64
+
+
+class SAFS:
+    """Set-associative file system over a simulated SSD array."""
+
+    def __init__(
+        self,
+        array: Optional[SSDArray] = None,
+        config: Optional[SAFSConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        stats: Optional[StatsCollector] = None,
+    ) -> None:
+        self.config = config or SAFSConfig()
+        self.stats = stats if stats is not None else StatsCollector()
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.array = array or SSDArray(SSDArrayConfig(), self.stats)
+        self.cache = PageCache(
+            PageCacheConfig(
+                capacity_bytes=self.config.cache_bytes,
+                page_size=self.config.page_size,
+                associativity=self.config.cache_associativity,
+                eviction=self.config.cache_eviction,
+            ),
+            self.stats,
+        )
+        self.scheduler = IOScheduler(
+            self.array, self.cache, self.cost_model, self.config.page_size, self.stats
+        )
+        self._files: Dict[str, SAFSFile] = {}
+
+    @property
+    def page_size(self) -> int:
+        return self.config.page_size
+
+    def create_file(self, name: str, data: Union[bytes, bytearray, memoryview]) -> SAFSFile:
+        """Store ``data`` as a new file striped across the array."""
+        if name in self._files:
+            raise ValueError(f"file {name!r} already exists")
+        file = SAFSFile(name, data)
+        self.scheduler.register_file(file)
+        self._files[name] = file
+        return file
+
+    def open_file(self, name: str) -> SAFSFile:
+        """Look up an existing file by name."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"SAFS has no file named {name!r}") from None
+
+    def file_names(self) -> List[str]:
+        """All file names, in creation order."""
+        return list(self._files)
+
+    def submit_merged(
+        self, merged: Sequence[MergedRequest], issue_time: float
+    ) -> Tuple[List[CompletedTask], float]:
+        """Issue pre-merged requests (engine-level merging).
+
+        Requests are issued back-to-back: each one's device arrival time
+        includes the CPU spent issuing its predecessors, modelling a worker
+        thread pushing its batch into SAFS.  Returns the completions of
+        every constituent :class:`IORequest` sorted by completion time,
+        plus the total CPU cost of the batch.
+        """
+        cursor = issue_time
+        total_cpu = 0.0
+        completions: List[CompletedTask] = []
+        for request in merged:
+            done, cpu, full_hit = self.scheduler.dispatch(request, cursor)
+            cursor += cpu
+            total_cpu += cpu
+            if done < cursor:
+                done = cursor
+            for part in request.parts:
+                data = part.file.read(part.offset, part.length)
+                completions.append(CompletedTask(part, data, done, cache_hit=full_hit))
+        completions.sort(key=lambda c: c.completion_time)
+        self.stats.add("io.requests_issued", len(merged))
+        self.stats.add("io.cpu_issue_time", total_cpu)
+        return completions, total_cpu
+
+    def submit(
+        self,
+        requests: Sequence[IORequest],
+        issue_time: float,
+        fs_merge: bool = True,
+    ) -> Tuple[List[CompletedTask], float]:
+        """Issue raw, unmerged requests (the Figure 12 counterfactual).
+
+        Each incoming request costs kernel-path CPU; with ``fs_merge`` the
+        filesystem merges adjacent requests, but only within its bounded
+        queue window, lacking the engine's global view.  Without it every
+        request hits the device individually.
+        """
+        if not requests:
+            return [], 0.0
+        cm = self.cost_model
+        extra_cpu = len(requests) * (
+            cm.cpu_per_io_request_kernel - cm.cpu_per_io_request
+        )
+        window = self.config.fs_merge_window if fs_merge else 1
+        merged = merge_requests(
+            list(requests), self.config.page_size, adjacency_gap=1, window=window
+        )
+        completions, cpu = self.submit_merged(merged, issue_time + extra_cpu)
+        total_cpu = cpu + extra_cpu
+        self.stats.add("io.cpu_issue_time", extra_cpu)
+        return completions, total_cpu
+
+    def cached_bytes(self) -> int:
+        """Bytes currently held by the page cache."""
+        return len(self.cache) * self.config.page_size
+
+    def reset_timing(self) -> None:
+        """Clear device queues and the cache for a fresh timed run."""
+        self.array.reset()
+        self.cache.clear()

@@ -1,0 +1,105 @@
+"""The SAFS write path: loading graph images onto the array.
+
+FlashGraph's design minimises writes — SSDs wear out, and consumer drives
+write slower than they read (§3).  The only bulk write in the system's
+life is *graph construction*: serialising the edge-list files onto the
+array once, after which a single external-memory structure serves every
+algorithm (§3.5.2).
+
+This module models that construction: sequential streaming writes striped
+over the devices, a write-amplification factor for the FTL, and a wear
+counter so tests can assert the engine never writes during computation.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.sim.ssd import FLASH_PAGE_SIZE
+from repro.sim.ssd_array import SSDArray
+from repro.sim.stats import StatsCollector
+
+
+@dataclass(frozen=True)
+class WriteModel:
+    """Write-side performance of the array's devices.
+
+    Consumer SSDs of the paper's era wrote at roughly half their read
+    bandwidth; the FTL's write amplification consumes additional flash
+    program cycles that count toward wear but not host time.
+    """
+
+    #: Sustained sequential write bandwidth per device, bytes/second.
+    seq_write_bandwidth: float = 250e6
+    #: Flash pages programmed per host page written (FTL overhead).
+    write_amplification: float = 1.1
+    #: Program/erase cycles a consumer drive endures per flash page.
+    endurance_cycles: int = 3000
+
+
+class GraphLoader:
+    """Streams graph files onto the simulated array and accounts wear."""
+
+    def __init__(
+        self,
+        array: SSDArray,
+        model: Optional[WriteModel] = None,
+        stats: Optional[StatsCollector] = None,
+    ) -> None:
+        self.array = array
+        self.model = model or WriteModel()
+        self.stats = stats if stats is not None else StatsCollector()
+
+    def write_time(self, num_bytes: int) -> float:
+        """Seconds to stream ``num_bytes`` sequentially across the array."""
+        if num_bytes < 0:
+            raise ValueError("cannot write a negative byte count")
+        aggregate = self.array.config.num_ssds * self.model.seq_write_bandwidth
+        return num_bytes / aggregate
+
+    def load_image(self, image) -> Tuple[float, int]:
+        """Write a :class:`~repro.graph.builder.GraphImage`'s files.
+
+        Returns ``(seconds, flash_pages_programmed)`` and accumulates
+        ``write.*`` counters.  Pages programmed include FTL write
+        amplification — the number that matters for wear.
+        """
+        total_bytes = image.storage_bytes()
+        seconds = self.write_time(total_bytes)
+        host_pages = (total_bytes + FLASH_PAGE_SIZE - 1) // FLASH_PAGE_SIZE
+        programmed = int(host_pages * self.model.write_amplification)
+        self.stats.add("write.bytes", total_bytes)
+        self.stats.add("write.host_pages", host_pages)
+        self.stats.add("write.flash_pages_programmed", programmed)
+        self.stats.add("write.seconds", seconds)
+        return seconds, programmed
+
+    def wear_fraction(self) -> float:
+        """Fraction of the array's endurance consumed by writes so far.
+
+        The array's total endurance budget is ``devices x capacity_pages x
+        endurance_cycles``; we approximate capacity from the bytes written
+        (a loader only ever writes each image once, so this is the
+        conservative per-image wear).
+        """
+        programmed = self.stats.get("write.flash_pages_programmed")
+        if programmed == 0:
+            return 0.0
+        host_pages = self.stats.get("write.host_pages")
+        # Each page location endures `endurance_cycles` programs; writing
+        # a page once consumes 1/endurance of that location's life.
+        return programmed / (host_pages * self.model.endurance_cycles)
+
+
+def assert_read_only_computation(stats: StatsCollector) -> None:
+    """Raise if any write counter moved during computation.
+
+    The engine's whole-run invariant (§3: "Minimize write"): after graph
+    construction, FlashGraph never writes to SSDs.  Tests and the harness
+    call this after algorithm runs.
+    """
+    written = stats.get("write.bytes.computation", 0.0)
+    if written:
+        raise AssertionError(
+            f"semi-external computation wrote {written} bytes to SSDs; "
+            "the SEM model must not write during algorithms"
+        )

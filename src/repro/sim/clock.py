@@ -1,0 +1,93 @@
+"""Virtual-time primitives for the discrete-event simulation.
+
+Simulated time is a plain float in seconds.  The engine mostly advances
+per-worker cursors directly; these helpers exist so that the ordering logic
+(I/O completions interleaving with CPU work) is written once and tested once.
+"""
+
+import heapq
+import itertools
+from typing import Any, Iterator, Optional, Tuple
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock.
+
+    The clock refuses to move backwards: components that merge several time
+    lines (e.g. a worker waiting on an I/O completion) call :meth:`advance_to`
+    with the candidate time and get back the effective current time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError("virtual time cannot start negative")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """The current virtual time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time."""
+        if delta < 0.0:
+            raise ValueError("cannot advance the clock by a negative delta")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move the clock to ``when`` if that is in the future; never rewind."""
+        if when > self._now:
+            self._now = when
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind the clock; only meant for reusing a clock across runs."""
+        if start < 0.0:
+            raise ValueError("virtual time cannot start negative")
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.9f})"
+
+
+class EventQueue:
+    """A stable min-heap of ``(time, payload)`` events.
+
+    Ties on time are broken by insertion order, which keeps the simulation
+    deterministic — a property every test in this repository relies on.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def push(self, when: float, payload: Any) -> None:
+        """Schedule ``payload`` at virtual time ``when``."""
+        if when < 0.0:
+            raise ValueError("events cannot be scheduled at negative time")
+        heapq.heappush(self._heap, (when, next(self._counter), payload))
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)`` event."""
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        when, _seq, payload = heapq.heappop(self._heap)
+        return when, payload
+
+    def peek_time(self) -> Optional[float]:
+        """The time of the earliest event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def drain(self) -> Iterator[Tuple[float, Any]]:
+        """Yield every event in time order, emptying the queue."""
+        while self._heap:
+            yield self.pop()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,66 @@
+"""NUMA topology model (§3.8's locality argument, [31]/[32]'s machine).
+
+The paper's testbed is a four-socket Xeon; SAFS and FlashGraph are
+explicitly NUMA-aware: worker threads are pinned to processors, each
+partition's vertex state is allocated on its thread's socket, and
+"all memory accesses to the vertex state are localized to the processor"
+(§3.8).  Two operations break locality:
+
+- the load balancer executing stolen vertices (state lives on the
+  victim's socket),
+- delivering messages whose sender runs on a different socket than the
+  recipient's owner.
+
+This module maps workers to sockets and prices those remote accesses;
+the engine charges through it and counts local/remote traffic so the
+NUMA ablation can quantify what pinning buys.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """Sockets and the worker→socket pinning."""
+
+    #: Processor sockets (the paper's machine has 4).
+    num_sockets: int = 4
+    #: Worker threads spread round-robin-by-block over the sockets.
+    num_threads: int = 32
+    #: Extra CPU per remote (cross-socket) memory operation, relative to
+    #: a local one (QPI hop, ~1.6-2x latency on that generation).
+    remote_penalty: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.num_sockets <= 0:
+            raise ValueError("need at least one socket")
+        if self.num_threads <= 0:
+            raise ValueError("need at least one thread")
+        if self.remote_penalty < 0:
+            raise ValueError("the remote penalty cannot be negative")
+
+    def socket_of(self, worker: int) -> int:
+        """The socket a worker thread is pinned to (blocked layout)."""
+        if not 0 <= worker < self.num_threads:
+            raise ValueError(f"worker {worker} out of range")
+        per_socket = max(1, self.num_threads // self.num_sockets)
+        return min((worker // per_socket), self.num_sockets - 1)
+
+    def is_remote(self, worker_a: int, worker_b: int) -> bool:
+        """Whether two workers sit on different sockets."""
+        return self.socket_of(worker_a) != self.socket_of(worker_b)
+
+    def remote_factor(self, worker_a: int, worker_b: int) -> float:
+        """Cost multiplier for ``worker_a`` touching ``worker_b``'s memory."""
+        if self.is_remote(worker_a, worker_b):
+            return 1.0 + self.remote_penalty
+        return 1.0
+
+    def socket_populations(self) -> np.ndarray:
+        """Workers per socket (layout sanity check / tests)."""
+        counts = np.zeros(self.num_sockets, dtype=np.int64)
+        for worker in range(self.num_threads):
+            counts[self.socket_of(worker)] += 1
+        return counts

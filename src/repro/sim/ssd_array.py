@@ -1,0 +1,137 @@
+"""A striped array of simulated SSDs.
+
+The paper's testbed attaches 15 SSDs that together deliver ~900,000 reads
+per second.  SAFS stripes file pages across the devices and drives each one
+from a dedicated I/O thread; here each :class:`~repro.sim.ssd.SSD` carries
+its own queue, and a request that spans a stripe boundary is split into
+per-device sub-requests whose completion is the latest sub-completion.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sim.ssd import FLASH_PAGE_SIZE, SSD, SSDConfig
+from repro.sim.stats import StatsCollector
+
+
+@dataclass(frozen=True)
+class SSDArrayConfig:
+    """Array geometry.  Defaults match the paper's 15-SSD chassis."""
+
+    #: Number of devices in the array.
+    num_ssds: int = 15
+    #: Stripe unit in flash pages (64KB stripes by default).
+    stripe_pages: int = 16
+    #: Per-device performance envelope.
+    ssd_config: SSDConfig = SSDConfig()
+
+    @property
+    def max_iops(self) -> float:
+        """Aggregate random-read IOPS (paper: ~900K)."""
+        return self.num_ssds * self.ssd_config.max_iops
+
+    @property
+    def max_bandwidth(self) -> float:
+        """Aggregate sequential read bandwidth in bytes per second."""
+        return self.num_ssds * self.ssd_config.seq_bandwidth
+
+
+class SSDArray:
+    """Pages striped round-robin (by stripe unit) over the devices."""
+
+    def __init__(
+        self,
+        config: Optional[SSDArrayConfig] = None,
+        stats: Optional[StatsCollector] = None,
+        device_configs: Optional[List[SSDConfig]] = None,
+    ) -> None:
+        """``device_configs`` overrides the per-device envelope (one entry
+        per device) — used to model stragglers: a degraded drive slows only
+        the requests striped onto it, since SAFS drives each device from
+        its own I/O thread and queue."""
+        self.config = config or SSDArrayConfig()
+        if self.config.num_ssds <= 0:
+            raise ValueError("an SSD array needs at least one device")
+        if self.config.stripe_pages <= 0:
+            raise ValueError("the stripe unit must be at least one page")
+        if device_configs is not None and len(device_configs) != self.config.num_ssds:
+            raise ValueError("device_configs must have one entry per device")
+        self.stats = stats if stats is not None else StatsCollector()
+        configs = device_configs or [self.config.ssd_config] * self.config.num_ssds
+        self._ssds: List[SSD] = [
+            SSD(cfg, self.stats, name=f"ssd{i}")
+            for i, cfg in enumerate(configs)
+        ]
+
+    @property
+    def ssds(self) -> Tuple[SSD, ...]:
+        return tuple(self._ssds)
+
+    def device_for_page(self, page_no: int) -> int:
+        """Index of the device that stores ``page_no``."""
+        if page_no < 0:
+            raise ValueError("page numbers are non-negative")
+        return (page_no // self.config.stripe_pages) % self.config.num_ssds
+
+    def split_extent(self, first_page: int, num_pages: int) -> List[Tuple[int, int]]:
+        """Split a page extent into maximal per-device runs.
+
+        Returns ``(device_index, run_pages)`` tuples in page order.  Runs on
+        the same device separated by other devices' stripes are *not*
+        coalesced: each stripe crossing is a distinct sub-request, which is
+        exactly why FlashGraph's conservative merging only joins requests on
+        the same or adjacent pages (§3.6).
+        """
+        if num_pages <= 0:
+            raise ValueError("an extent must cover at least one page")
+        runs: List[Tuple[int, int]] = []
+        page = first_page
+        remaining = num_pages
+        stripe = self.config.stripe_pages
+        while remaining > 0:
+            device = self.device_for_page(page)
+            stripe_end = (page // stripe + 1) * stripe
+            run = min(remaining, stripe_end - page)
+            runs.append((device, run))
+            page += run
+            remaining -= run
+        return runs
+
+    def submit(self, arrival_time: float, first_page: int, num_pages: int) -> float:
+        """Read ``num_pages`` pages starting at ``first_page``.
+
+        Each stripe-aligned run goes to its owning device's queue; the
+        request completes when the slowest run completes.
+        """
+        completion = arrival_time
+        for device, run_pages in self.split_extent(first_page, num_pages):
+            done = self._ssds[device].submit(arrival_time, run_pages)
+            if done > completion:
+                completion = done
+        self.stats.add("array.requests")
+        self.stats.add("array.pages_read", num_pages)
+        self.stats.add("array.bytes_read", num_pages * FLASH_PAGE_SIZE)
+        return completion
+
+    def busy_time(self) -> float:
+        """Total device-seconds spent servicing requests across the array."""
+        return sum(ssd.busy_time for ssd in self._ssds)
+
+    def drain_time(self) -> float:
+        """Virtual time at which every device queue is empty."""
+        return max(ssd.busy_until for ssd in self._ssds)
+
+    def utilization(self, wall_time: float) -> float:
+        """Fraction of aggregate device time busy over ``wall_time``."""
+        if wall_time <= 0.0:
+            return 0.0
+        return self.busy_time() / (wall_time * self.config.num_ssds)
+
+    def reset(self) -> None:
+        """Clear all device queues (not the shared stats)."""
+        for ssd in self._ssds:
+            ssd.reset()
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return f"SSDArray(num_ssds={cfg.num_ssds}, stripe_pages={cfg.stripe_pages})"

@@ -1,0 +1,72 @@
+"""Counters shared by every layer of the stack.
+
+A single :class:`StatsCollector` instance threads through the SSD array, the
+SAFS page cache, the engine and the benchmark harness, so that a benchmark
+can report exact byte counts, request counts and hit rates next to the
+simulated runtime.
+"""
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+
+class StatsCollector:
+    """A bag of named numeric counters.
+
+    Counter names are free-form dotted strings; the conventional namespaces
+    are ``ssd.*`` (device model), ``cache.*`` (SAFS page cache), ``io.*``
+    (request scheduling), ``engine.*`` (vertex execution) and ``msg.*``
+    (message passing).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self._counters[name] += value
+
+    def set(self, name: str, value: float) -> None:
+        """Overwrite counter ``name`` (used for gauges such as peak memory)."""
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Read counter ``name``, returning ``default`` when never touched."""
+        return self._counters.get(name, default)
+
+    def max(self, name: str, value: float) -> None:
+        """Raise counter ``name`` to ``value`` if that is larger."""
+        if value > self._counters.get(name, float("-inf")):
+            self._counters[name] = value
+
+    def names(self) -> Iterable[str]:
+        """All counter names touched so far, sorted."""
+        return sorted(self._counters)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy of every counter."""
+        return dict(self._counters)
+
+    def merge(self, other: Mapping[str, float]) -> None:
+        """Add every counter of ``other`` into this collector."""
+        for name, value in other.items():
+            self._counters[name] += value
+
+    def diff(self, baseline: Mapping[str, float]) -> Dict[str, float]:
+        """Counters accumulated since ``baseline`` (an earlier snapshot)."""
+        out: Dict[str, float] = {}
+        for name, value in self._counters.items():
+            delta = value - baseline.get(name, 0.0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counters.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __repr__(self) -> str:
+        return f"StatsCollector({len(self._counters)} counters)"

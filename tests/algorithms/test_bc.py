@@ -1,0 +1,111 @@
+"""Betweenness centrality against a hand-rolled Brandes reference."""
+
+import collections
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bc import betweenness_centrality, merge_results
+from repro.core.config import ExecutionMode
+from repro.graph.builder import build_directed
+
+from tests.conftest import engine_for
+
+
+def brandes_single_source(image, source):
+    """Exact single-source dependency scores (Brandes 2001)."""
+    n = image.num_vertices
+    out = image.out_csr
+    dist = {source: 0}
+    sigma = collections.defaultdict(float)
+    sigma[source] = 1.0
+    order = [source]
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for w in out.neighbors(v):
+                w = int(w)
+                if w not in dist:
+                    dist[w] = dist[v] + 1
+                    nxt.append(w)
+                    order.append(w)
+        for w in nxt:
+            total = 0.0
+            for p in image.in_csr.neighbors(w):
+                p = int(p)
+                if dist.get(p) == dist[w] - 1:
+                    total += sigma[p]
+            sigma[w] = total
+        frontier = nxt
+    delta = np.zeros(n)
+    for w in reversed(order):
+        for x in out.neighbors(w):
+            x = int(x)
+            if dist.get(x) == dist[w] + 1:
+                delta[w] += sigma[w] / sigma[x] * (1.0 + delta[x])
+    delta[source] = 0.0  # endpoints are excluded from betweenness
+    return delta
+
+
+@pytest.mark.parametrize("mode", list(ExecutionMode))
+class TestBCCorrectness:
+    def test_er_graph(self, er_image, mode):
+        deltas, result = betweenness_centrality(engine_for(er_image, mode=mode), 0)
+        expected = brandes_single_source(er_image, 0)
+        assert np.allclose(deltas, expected)
+        assert result.runtime > 0
+
+    def test_rmat_hub_source(self, rmat_image, mode):
+        source = int(np.argmax(rmat_image.out_csr.degrees()))
+        deltas, _ = betweenness_centrality(engine_for(rmat_image, mode=mode), source)
+        expected = brandes_single_source(rmat_image, source)
+        assert np.allclose(deltas, expected)
+
+
+class TestBCEdgeCases:
+    def test_isolated_source(self):
+        image = build_directed(np.array([[1, 2]]), 3, name="bc-iso")
+        deltas, result = betweenness_centrality(engine_for(image, range_shift=1), 0)
+        assert deltas.tolist() == [0.0, 0.0, 0.0]
+
+    def test_path_graph(self):
+        # 0 -> 1 -> 2 -> 3: delta(1) = 2, delta(2) = 1 from source 0.
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        image = build_directed(edges, 4, name="bc-path")
+        deltas, _ = betweenness_centrality(engine_for(image, range_shift=1), 0)
+        assert deltas.tolist() == [0.0, 2.0, 1.0, 0.0]
+
+    def test_diamond_splits_dependency(self):
+        # 0 -> {1, 2} -> 3: each middle vertex carries half of 3's weight.
+        edges = np.array([[0, 1], [0, 2], [1, 3], [2, 3]])
+        image = build_directed(edges, 4, name="bc-diamond")
+        deltas, _ = betweenness_centrality(engine_for(image, range_shift=1), 0)
+        assert deltas[1] == pytest.approx(0.5)
+        assert deltas[2] == pytest.approx(0.5)
+        assert deltas[3] == pytest.approx(0.0)
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_digraphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 40))
+        edges = rng.integers(0, n, size=(2 * n, 2), dtype=np.int64)
+        image = build_directed(edges, n, name=f"bcprop{seed}")
+        source = int(rng.integers(0, n))
+        deltas, _ = betweenness_centrality(
+            engine_for(image, num_threads=2, range_shift=3), source
+        )
+        assert np.allclose(deltas, brandes_single_source(image, source))
+
+
+class TestMergeResults:
+    def test_addition(self, er_image):
+        _, first = betweenness_centrality(engine_for(er_image), 0)
+        merged = merge_results(first, first)
+        assert merged.runtime == pytest.approx(2 * first.runtime)
+        assert merged.bytes_read == pytest.approx(2 * first.bytes_read)
+        assert merged.iterations == 2 * first.iterations
+        assert merged.cpu_utilization == pytest.approx(first.cpu_utilization)

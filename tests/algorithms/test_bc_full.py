@@ -1,0 +1,79 @@
+"""Tests for full and sampled betweenness centrality."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.bc_full import (
+    betweenness_centrality_full,
+    betweenness_centrality_sampled,
+)
+from repro.graph.builder import build_directed
+
+from tests.conftest import engine_for
+
+
+@pytest.fixture(scope="module")
+def small_image():
+    rng = np.random.default_rng(8)
+    edges = rng.integers(0, 40, size=(160, 2), dtype=np.int64)
+    return build_directed(edges, 40, name="bcf")
+
+
+@pytest.fixture(scope="module")
+def small_digraph(small_image):
+    from repro.graph.io_edge_list import image_to_networkx
+
+    return image_to_networkx(small_image)
+
+
+class TestFullBC:
+    def test_matches_networkx(self, small_image, small_digraph):
+        totals, result = betweenness_centrality_full(engine_for(small_image, range_shift=3))
+        expected = nx.betweenness_centrality(small_digraph, normalized=False)
+        for v in range(small_image.num_vertices):
+            assert totals[v] == pytest.approx(expected[v]), v
+        assert result.runtime > 0
+
+    def test_path_graph(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        image = build_directed(edges, 4, name="bcf-path")
+        totals, _ = betweenness_centrality_full(engine_for(image, range_shift=1))
+        # Vertex 1 lies on paths 0->2, 0->3; vertex 2 on 0->3, 1->3.
+        assert totals.tolist() == [0.0, 2.0, 2.0, 0.0]
+
+
+class TestSampledBC:
+    def test_all_sources_equals_exact(self, small_image, small_digraph):
+        n = small_image.num_vertices
+        sampled, _ = betweenness_centrality_sampled(
+            engine_for(small_image, range_shift=3), num_sources=n
+        )
+        expected = nx.betweenness_centrality(small_digraph, normalized=False)
+        for v in range(n):
+            assert sampled[v] == pytest.approx(expected[v]), v
+
+    def test_estimate_correlates_with_exact(self, small_image, small_digraph):
+        sampled, _ = betweenness_centrality_sampled(
+            engine_for(small_image, range_shift=3), num_sources=20, seed=3
+        )
+        expected = nx.betweenness_centrality(small_digraph, normalized=False)
+        exact = np.asarray([expected[v] for v in range(small_image.num_vertices)])
+        # Spearman-ish check: the top exact vertex ranks highly in the sample.
+        top = int(np.argmax(exact))
+        assert sampled[top] >= np.percentile(sampled, 75)
+
+    def test_deterministic_for_seed(self, small_image):
+        a, _ = betweenness_centrality_sampled(
+            engine_for(small_image, range_shift=3), num_sources=5, seed=7
+        )
+        b, _ = betweenness_centrality_sampled(
+            engine_for(small_image, range_shift=3), num_sources=5, seed=7
+        )
+        assert np.array_equal(a, b)
+
+    def test_invalid_sample_size(self, small_image):
+        with pytest.raises(ValueError):
+            betweenness_centrality_sampled(engine_for(small_image), num_sources=0)
+        with pytest.raises(ValueError):
+            betweenness_centrality_sampled(engine_for(small_image), num_sources=999)

@@ -1,0 +1,179 @@
+"""Tests for the extension algorithms: communities, core decomposition,
+clustering coefficients."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.clustering import clustering_coefficients, undirected_degrees
+from repro.algorithms.communities import (
+    LabelPropagationProgram,
+    label_propagation,
+    modularity,
+)
+from repro.algorithms.core_decomposition import core_decomposition
+from repro.core.config import ExecutionMode
+from repro.graph.builder import build_directed, build_undirected
+
+from tests.conftest import engine_for
+
+
+def two_cliques(size=8, bridge=True):
+    edges = []
+    for base in (0, size):
+        for i in range(size):
+            for j in range(i + 1, size):
+                edges.append([base + i, base + j])
+    if bridge:
+        edges.append([0, size])
+    return build_undirected(np.asarray(edges), 2 * size, name="cliques")
+
+
+class TestLabelPropagation:
+    def test_two_cliques_found(self):
+        image = two_cliques()
+        labels, result = label_propagation(engine_for(image, range_shift=2))
+        assert len(set(labels[:8].tolist())) == 1
+        assert len(set(labels[8:].tolist())) == 1
+        assert labels[0] != labels[8]
+
+    def test_modes_agree(self):
+        image = two_cliques()
+        sem, _ = label_propagation(engine_for(image, range_shift=2))
+        mem, _ = label_propagation(
+            engine_for(image, mode=ExecutionMode.IN_MEMORY, range_shift=2)
+        )
+        assert np.array_equal(sem, mem)
+
+    def test_respects_round_cap(self, er_uimage):
+        _, result = label_propagation(engine_for(er_uimage), max_rounds=3)
+        assert result.iterations <= 3
+
+    def test_directed_graph_supported(self, er_image):
+        labels, _ = label_propagation(engine_for(er_image), max_rounds=5)
+        assert labels.size == er_image.num_vertices
+
+    def test_num_communities(self):
+        image = two_cliques(bridge=False)
+        engine = engine_for(image, range_shift=2)
+        program = LabelPropagationProgram(image.num_vertices, image.directed)
+        engine.run(program, max_iterations=program.max_rounds)
+        assert program.num_communities() == 2
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            LabelPropagationProgram(4, False, max_rounds=0)
+
+
+class TestModularity:
+    def test_perfect_split_beats_random(self):
+        image = two_cliques()
+        perfect = np.concatenate([np.zeros(8), np.ones(8)])
+        rng = np.random.default_rng(0)
+        scrambled = rng.integers(0, 2, size=16)
+        assert modularity(image, perfect) > modularity(image, scrambled)
+
+    def test_matches_networkx(self):
+        image = two_cliques()
+        labels = np.concatenate([np.zeros(8, dtype=int), np.ones(8, dtype=int)])
+        graph = nx.Graph()
+        graph.add_nodes_from(range(16))
+        for v in range(16):
+            for u in image.out_csr.neighbors(v):
+                graph.add_edge(v, int(u))
+        expected = nx.community.modularity(
+            graph, [set(range(8)), set(range(8, 16))]
+        )
+        assert modularity(image, labels) == pytest.approx(expected)
+
+    def test_single_community_modularity_zero(self):
+        image = two_cliques(bridge=False)
+        labels = np.zeros(16, dtype=int)
+        # One community holding everything: Q = 1 - 1 = 0.
+        assert modularity(image, labels) == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        image = build_undirected(np.zeros((0, 2), dtype=np.int64), 3)
+        assert modularity(image, np.zeros(3)) == 0.0
+
+    def test_wrong_length_rejected(self):
+        image = two_cliques()
+        with pytest.raises(ValueError):
+            modularity(image, np.zeros(3))
+
+
+class TestCoreDecomposition:
+    def test_matches_networkx(self, er_uimage, er_ugraph):
+        core, result = core_decomposition(engine_for(er_uimage))
+        graph = er_ugraph.copy()
+        graph.remove_edges_from(nx.selfloop_edges(graph))
+        expected = nx.core_number(graph)
+        assert all(core[v] == expected[v] for v in range(er_uimage.num_vertices))
+        assert result.runtime > 0
+
+    def test_clique_core(self):
+        image = two_cliques(size=6, bridge=False)
+        core, _ = core_decomposition(engine_for(image, range_shift=2))
+        assert (core == 5).all()
+
+    def test_isolated_vertices_have_core_zero(self):
+        image = build_undirected(np.array([[0, 1]]), 4, name="iso")
+        core, _ = core_decomposition(engine_for(image, range_shift=1))
+        assert core.tolist() == [1, 1, 0, 0]
+
+    def test_directed_rejected(self, er_image):
+        with pytest.raises(ValueError):
+            core_decomposition(engine_for(er_image))
+
+    @given(seed=st.integers(min_value=0, max_value=3000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 30))
+        raw = rng.integers(0, n, size=(3 * n, 2), dtype=np.int64)
+        edges = raw[raw[:, 0] != raw[:, 1]]
+        if len(edges) == 0:
+            return
+        image = build_undirected(edges, n, name=f"coreprop{seed}")
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(map(tuple, edges.tolist()))
+        core, _ = core_decomposition(engine_for(image, num_threads=2, range_shift=3))
+        expected = nx.core_number(graph)
+        assert all(core[v] == expected[v] for v in range(n))
+
+
+class TestClusteringCoefficients:
+    def test_matches_networkx_undirected(self, er_uimage, er_ugraph):
+        coeffs, avg, _ = clustering_coefficients(engine_for(er_uimage))
+        expected = nx.clustering(er_ugraph)
+        for v in range(er_uimage.num_vertices):
+            assert coeffs[v] == pytest.approx(expected[v])
+        assert avg == pytest.approx(nx.average_clustering(er_ugraph))
+
+    def test_matches_networkx_directed_projection(self, er_image, er_ugraph):
+        coeffs, _, _ = clustering_coefficients(engine_for(er_image))
+        expected = nx.clustering(er_ugraph)
+        for v in range(er_image.num_vertices):
+            assert coeffs[v] == pytest.approx(expected[v])
+
+    def test_triangle_free_graph_is_zero(self):
+        edges = np.array([[0, i] for i in range(1, 6)])
+        image = build_undirected(edges, 6, name="cc-star")
+        coeffs, avg, _ = clustering_coefficients(engine_for(image, range_shift=2))
+        assert avg == 0.0
+        assert (coeffs == 0).all()
+
+    def test_clique_is_one(self):
+        image = two_cliques(size=5, bridge=False)
+        coeffs, avg, _ = clustering_coefficients(engine_for(image, range_shift=2))
+        assert avg == pytest.approx(1.0)
+
+    def test_undirected_degrees(self, er_image, er_ugraph):
+        degrees = undirected_degrees(er_image)
+        for v in range(er_image.num_vertices):
+            assert degrees[v] == er_ugraph.degree(v) - (
+                1 if er_ugraph.has_edge(v, v) else 0
+            )

@@ -1,0 +1,133 @@
+"""Tests for multi-level Louvain community detection."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.communities import modularity
+from repro.algorithms.louvain import (
+    LouvainMoveProgram,
+    LouvainResult,
+    _aggregate,
+    louvain,
+)
+from repro.core.config import ExecutionMode
+from repro.graph.builder import build_directed, build_undirected
+from repro.graph.types import EdgeType
+
+from tests.conftest import engine_for
+
+
+def ring_of_cliques(num_cliques=8, size=6):
+    edges, n = [], num_cliques * size
+    for c in range(num_cliques):
+        base = c * size
+        for i in range(size):
+            for j in range(i + 1, size):
+                edges.append([base + i, base + j])
+        edges.append([base, ((c + 1) % num_cliques) * size])
+    return build_undirected(np.asarray(edges), n, name="ring"), np.asarray(edges)
+
+
+def factory(image):
+    return engine_for(image, range_shift=3)
+
+
+class TestLouvain:
+    def test_ring_of_cliques_exact(self):
+        image, edges = ring_of_cliques()
+        result = louvain(factory, image)
+        # The known optimum: one community per clique, Q = 0.8125.
+        assert len(set(result.communities.tolist())) == 8
+        assert result.modularity == pytest.approx(0.8125)
+        for c in range(8):
+            members = result.communities[c * 6 : (c + 1) * 6]
+            assert len(set(members.tolist())) == 1
+
+    def test_matches_networkx_quality_on_random_graph(self):
+        rng = np.random.default_rng(3)
+        edges = rng.integers(0, 100, size=(500, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        image = build_undirected(edges, 100, name="lr")
+        result = louvain(factory, image)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(100))
+        graph.add_edges_from(map(tuple, edges.tolist()))
+        reference = nx.community.modularity(
+            graph, nx.community.louvain_communities(graph, seed=1)
+        )
+        # Louvain is order-dependent; demand comparable quality.
+        assert result.modularity >= reference - 0.05
+
+    def test_modularity_consistent_with_scorer(self):
+        image, _ = ring_of_cliques(4, 5)
+        result = louvain(factory, image)
+        assert result.modularity == pytest.approx(
+            modularity(image, result.communities)
+        )
+
+    def test_in_memory_mode_agrees(self):
+        image, _ = ring_of_cliques(4, 5)
+        sem = louvain(factory, image)
+        mem = louvain(
+            lambda im: engine_for(im, mode=ExecutionMode.IN_MEMORY, range_shift=3),
+            image,
+        )
+        assert np.array_equal(sem.communities, mem.communities)
+
+    def test_levels_reported(self):
+        image, _ = ring_of_cliques()
+        result = louvain(factory, image)
+        assert result.levels >= 1
+        assert result.level_sizes[0] == 8
+        assert result.run is not None and result.run.runtime > 0
+
+    def test_directed_rejected(self):
+        image = build_directed(np.array([[0, 1]]), 2)
+        with pytest.raises(ValueError):
+            LouvainMoveProgram(image)
+
+    def test_invalid_parameters(self):
+        image, _ = ring_of_cliques(3, 4)
+        with pytest.raises(ValueError):
+            LouvainMoveProgram(image, max_sweeps=0)
+        with pytest.raises(ValueError):
+            louvain(factory, image, max_levels=0)
+
+    def test_isolated_vertices_keep_singleton_communities(self):
+        image = build_undirected(np.array([[0, 1]]), 4, name="lv-iso")
+        result = louvain(factory, image)
+        assert result.communities[2] != result.communities[0]
+        assert result.communities[3] != result.communities[0]
+
+
+class TestAggregate:
+    def test_preserves_total_weight(self):
+        image, _ = ring_of_cliques(4, 4)
+        labels = np.arange(image.num_vertices) // 4  # one community per clique
+        coarse, dense = _aggregate(image, labels)
+        program_fine = LouvainMoveProgram(image)
+        program_coarse = LouvainMoveProgram(coarse)
+        assert program_coarse.total_weight == pytest.approx(
+            program_fine.total_weight
+        )
+
+    def test_coarse_vertex_count(self):
+        image, _ = ring_of_cliques(4, 4)
+        labels = np.arange(image.num_vertices) // 4
+        coarse, dense = _aggregate(image, labels)
+        assert coarse.num_vertices == 4
+        assert dense.tolist() == labels.tolist()
+
+    def test_inter_community_weight(self):
+        # Two triangles joined by one edge: coarse graph = 2 vertices,
+        # one unit edge between them, self-loops of weight 6 each.
+        edges = np.asarray(
+            [[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5], [0, 3]]
+        )
+        image = build_undirected(edges, 6, name="2tri")
+        labels = np.asarray([0, 0, 0, 1, 1, 1])
+        coarse, _ = _aggregate(image, labels)
+        program = LouvainMoveProgram(coarse)
+        # degree = self-loop (2 * 3 internal) + 1 external = 7 per side.
+        assert program.degree.tolist() == [7.0, 7.0]

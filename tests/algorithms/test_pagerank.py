@@ -1,0 +1,78 @@
+"""PageRank correctness against a power-iteration reference."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRankProgram, pagerank
+from repro.core.config import ExecutionMode
+
+from tests.conftest import engine_for
+
+
+def accumulative_reference(image, damping=0.85, sweeps=200):
+    """Fixpoint of rank = (1-d) + d * sum_in rank/out_deg (no dangling
+    redistribution), the formulation the delta program converges to."""
+    n = image.num_vertices
+    out_deg = image.out_csr.degrees()
+    rank = np.full(n, 1.0 - damping)
+    for _ in range(sweeps):
+        incoming = np.full(n, 1.0 - damping)
+        for v in range(n):
+            if out_deg[v]:
+                incoming[image.out_csr.neighbors(v)] += (
+                    damping * rank[v] / out_deg[v]
+                )
+        rank = incoming
+    return rank
+
+
+@pytest.fixture(scope="module")
+def er_reference(er_image):
+    return accumulative_reference(er_image)
+
+
+@pytest.mark.parametrize("mode", list(ExecutionMode))
+class TestPageRankCorrectness:
+    def test_converges_to_reference(self, er_image, er_reference, mode):
+        ranks, result = pagerank(
+            engine_for(er_image, mode=mode), max_iterations=80, tolerance=1e-10
+        )
+        assert np.abs(ranks - er_reference).max() < 1e-4
+
+    def test_iteration_cap_respected(self, er_image, mode):
+        _, result = pagerank(engine_for(er_image, mode=mode), max_iterations=5)
+        assert result.iterations <= 5
+
+
+class TestPageRankBehaviour:
+    def test_active_set_shrinks(self, er_image):
+        # The paper: as PageRank proceeds, fewer vertices stay active.
+        engine = engine_for(er_image)
+        program = PageRankProgram(er_image.num_vertices, tolerance=1e-4)
+        engine.run(program, max_iterations=30)
+        # After convergence the un-propagated mass is a sliver of the total.
+        assert program.pending.sum() < 0.02 * program.rank.sum()
+
+    def test_ranks_positive_and_bounded(self, er_image):
+        ranks, _ = pagerank(engine_for(er_image), max_iterations=40)
+        assert (ranks >= 1.0 - 0.85 - 1e-12).all()
+        assert ranks.sum() < er_image.num_vertices * 10
+
+    def test_high_in_degree_ranks_higher_than_isolated(self, rmat_image):
+        ranks, _ = pagerank(engine_for(rmat_image), max_iterations=40)
+        in_deg = rmat_image.in_csr.degrees()
+        hub = int(np.argmax(in_deg))
+        isolated = int(np.argmin(in_deg))
+        assert ranks[hub] > ranks[isolated]
+
+    def test_invalid_params(self, er_image):
+        with pytest.raises(ValueError):
+            PageRankProgram(10, damping=1.5)
+        with pytest.raises(ValueError):
+            PageRankProgram(10, tolerance=0.0)
+
+    def test_deterministic(self, er_image):
+        a, ra = pagerank(engine_for(er_image), max_iterations=10)
+        b, rb = pagerank(engine_for(er_image), max_iterations=10)
+        assert np.array_equal(a, b)
+        assert ra.runtime == rb.runtime

@@ -1,0 +1,91 @@
+"""Tests for strongly connected components by coloring."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.scc import UNASSIGNED, scc
+from repro.core.config import ExecutionMode
+from repro.graph.builder import build_directed, build_undirected
+
+from tests.conftest import engine_for
+
+
+def grouping(labels):
+    groups = {}
+    for v, c in enumerate(labels):
+        groups.setdefault(int(c), set()).add(v)
+    return {frozenset(g) for g in groups.values()}
+
+
+@pytest.mark.parametrize("mode", list(ExecutionMode))
+class TestSCCCorrectness:
+    def test_er_graph(self, er_image, er_digraph, mode):
+        labels, result = scc(engine_for(er_image, mode=mode))
+        expected = {frozenset(c) for c in nx.strongly_connected_components(er_digraph)}
+        assert grouping(labels) == expected
+        assert (labels != UNASSIGNED).all()
+
+    def test_rmat_graph(self, rmat_image, rmat_digraph, mode):
+        labels, _ = scc(engine_for(rmat_image, mode=mode))
+        expected = {
+            frozenset(c) for c in nx.strongly_connected_components(rmat_digraph)
+        }
+        assert grouping(labels) == expected
+
+
+class TestSCCEdgeCases:
+    def test_directed_cycle_is_one_scc(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0]])
+        image = build_directed(edges, 3, name="cyc")
+        labels, _ = scc(engine_for(image, range_shift=1))
+        assert len(set(labels.tolist())) == 1
+
+    def test_dag_is_all_singletons(self):
+        edges = np.array([[0, 1], [1, 2], [0, 2]])
+        image = build_directed(edges, 3, name="dag")
+        labels, _ = scc(engine_for(image, range_shift=1))
+        assert len(set(labels.tolist())) == 3
+
+    def test_two_cycles_with_bridge(self):
+        edges = np.array(
+            [[0, 1], [1, 0], [2, 3], [3, 2], [1, 2]]
+        )
+        image = build_directed(edges, 4, name="2cyc")
+        labels, _ = scc(engine_for(image, range_shift=1))
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_label_is_component_maximum(self, er_image, er_digraph):
+        labels, _ = scc(engine_for(er_image))
+        for component in nx.strongly_connected_components(er_digraph):
+            assert all(labels[v] == max(component) for v in component)
+
+    def test_isolated_vertices(self):
+        image = build_directed(np.zeros((0, 2), dtype=np.int64), 5, name="iso")
+        labels, _ = scc(engine_for(image, range_shift=1))
+        assert labels.tolist() == [0, 1, 2, 3, 4]
+
+    def test_undirected_rejected(self):
+        image = build_undirected(np.array([[0, 1]]), 2)
+        with pytest.raises(ValueError):
+            scc(engine_for(image, range_shift=1))
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_digraphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 60))
+        edges = rng.integers(0, n, size=(3 * n, 2), dtype=np.int64)
+        image = build_directed(edges, n, name=f"sccprop{seed}")
+        digraph = nx.DiGraph()
+        digraph.add_nodes_from(range(n))
+        digraph.add_edges_from(map(tuple, edges.tolist()))
+        labels, _ = scc(engine_for(image, num_threads=2, range_shift=3))
+        expected = {
+            frozenset(c) for c in nx.strongly_connected_components(digraph)
+        }
+        assert grouping(labels) == expected

@@ -1,0 +1,81 @@
+"""Triangle counting against networkx, in both modes."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.triangle_count import TriangleCountProgram, triangle_count
+from repro.core.config import ExecutionMode
+from repro.graph.builder import build_directed, build_undirected
+
+from tests.conftest import engine_for
+
+
+@pytest.mark.parametrize("mode", list(ExecutionMode))
+class TestTriangleCorrectness:
+    def test_er_directed(self, er_image, er_ugraph, mode):
+        counts, result = triangle_count(engine_for(er_image, mode=mode))
+        expected = nx.triangles(er_ugraph)
+        for v in range(er_image.num_vertices):
+            assert counts[v] == expected[v]
+
+    def test_er_undirected(self, er_uimage, er_ugraph, mode):
+        counts, _ = triangle_count(engine_for(er_uimage, mode=mode))
+        expected = nx.triangles(er_ugraph)
+        for v in range(er_uimage.num_vertices):
+            assert counts[v] == expected[v]
+
+
+class TestTriangleEdgeCases:
+    def test_single_triangle(self):
+        image = build_undirected(np.array([[0, 1], [1, 2], [0, 2]]), 3, name="tri")
+        counts, _ = triangle_count(engine_for(image, range_shift=1))
+        assert counts.tolist() == [1, 1, 1]
+
+    def test_no_triangles_in_a_star(self):
+        edges = np.array([[0, i] for i in range(1, 6)])
+        image = build_undirected(edges, 6, name="star")
+        counts, _ = triangle_count(engine_for(image, range_shift=1))
+        assert counts.sum() == 0
+
+    def test_reciprocal_directed_edges_count_once(self):
+        # Directed triangle with every edge reciprocated is still one
+        # triangle of the undirected projection.
+        edges = np.array(
+            [[0, 1], [1, 0], [1, 2], [2, 1], [0, 2], [2, 0]]
+        )
+        image = build_directed(edges, 3, name="recip")
+        counts, _ = triangle_count(engine_for(image, range_shift=1))
+        assert counts.tolist() == [1, 1, 1]
+
+    def test_total_triangles_property(self, er_image, er_ugraph):
+        engine = engine_for(er_image)
+        program = TriangleCountProgram(er_image.num_vertices, True)
+        engine.run(program)
+        total = sum(nx.triangles(er_ugraph).values()) // 3
+        assert program.total_triangles == total
+
+    def test_transient_buffers_drained(self, er_image):
+        engine = engine_for(er_image)
+        program = TriangleCountProgram(er_image.num_vertices, True)
+        engine.run(program)
+        assert not program._own_parts
+        assert not program._neighborhood
+        assert not program._nbr_parts
+        assert not program._outstanding
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 40))
+        edges = rng.integers(0, n, size=(3 * n, 2), dtype=np.int64)
+        image = build_directed(edges, n, name=f"triprop{seed}")
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from((int(u), int(v)) for u, v in edges if u != v)
+        counts, _ = triangle_count(engine_for(image, num_threads=2, range_shift=3))
+        expected = nx.triangles(graph)
+        assert all(counts[v] == expected[v] for v in range(n))

@@ -1,0 +1,85 @@
+"""WCC correctness against networkx, in both modes, plus properties."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.wcc import WCCProgram, wcc
+from repro.core.config import ExecutionMode
+from repro.graph.builder import build_directed
+
+from tests.conftest import engine_for
+
+
+def grouping(labels):
+    groups = {}
+    for v, c in enumerate(labels):
+        groups.setdefault(int(c), set()).add(v)
+    return {frozenset(g) for g in groups.values()}
+
+
+@pytest.mark.parametrize("mode", list(ExecutionMode))
+class TestWCCCorrectness:
+    def test_er_graph(self, er_image, er_digraph, mode):
+        labels, result = wcc(engine_for(er_image, mode=mode))
+        expected = {frozenset(c) for c in nx.weakly_connected_components(er_digraph)}
+        assert grouping(labels) == expected
+
+    def test_rmat_graph(self, rmat_image, rmat_digraph, mode):
+        labels, _ = wcc(engine_for(rmat_image, mode=mode))
+        expected = {frozenset(c) for c in nx.weakly_connected_components(rmat_digraph)}
+        assert grouping(labels) == expected
+
+    def test_two_disjoint_cliques(self, mode):
+        edges = []
+        for block in (0, 5):
+            for i in range(5):
+                for j in range(5):
+                    if i != j:
+                        edges.append([block + i, block + j])
+        image = build_directed(np.asarray(edges), 10, name="cliques")
+        labels, _ = wcc(engine_for(image, mode=mode, range_shift=2))
+        assert labels[:5].tolist() == [0] * 5
+        assert labels[5:].tolist() == [5] * 5
+
+
+class TestWCCBehaviour:
+    def test_labels_are_component_minima(self, er_image, er_digraph):
+        labels, _ = wcc(engine_for(er_image))
+        for component in nx.weakly_connected_components(er_digraph):
+            expected = min(component)
+            for v in component:
+                assert labels[v] == expected
+
+    def test_num_components_helper(self, er_image, er_digraph):
+        engine = engine_for(er_image)
+        program = WCCProgram(er_image.num_vertices)
+        engine.run(program)
+        assert program.num_components() == nx.number_weakly_connected_components(
+            er_digraph
+        )
+
+    def test_direction_ignored(self):
+        # 0 -> 1 and 2 -> 1: all weakly connected despite no directed path.
+        image = build_directed(np.array([[0, 1], [2, 1]]), 3, name="v")
+        labels, _ = wcc(engine_for(image, range_shift=1))
+        assert labels.tolist() == [0, 0, 0]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_digraphs_match_networkx(self, seed, n):
+        rng = np.random.default_rng(seed)
+        m = max(1, n)
+        edges = rng.integers(0, n, size=(m, 2), dtype=np.int64)
+        image = build_directed(edges, n, name=f"wccprop{seed}")
+        digraph = nx.DiGraph()
+        digraph.add_nodes_from(range(n))
+        digraph.add_edges_from(map(tuple, edges.tolist()))
+        labels, _ = wcc(engine_for(image, num_threads=2, range_shift=3))
+        expected = {frozenset(c) for c in nx.weakly_connected_components(digraph)}
+        assert grouping(labels) == expected

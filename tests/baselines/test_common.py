@@ -1,0 +1,114 @@
+"""Tests for the shared workload traces (reference dynamics)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.common import (
+    BaselineReport,
+    IterationStats,
+    WorkloadTrace,
+    bc_trace,
+    bfs_trace,
+    pagerank_trace,
+    scan_trace,
+    triangle_trace,
+    wcc_trace,
+)
+
+
+class TestBFSTrace:
+    def test_levels_match_networkx(self, rmat_image, rmat_digraph):
+        source = int(np.argmax(rmat_image.out_csr.degrees()))
+        levels, trace = bfs_trace(rmat_image, source)
+        expected = nx.single_source_shortest_path_length(rmat_digraph, source)
+        got = {v: int(l) for v, l in enumerate(levels) if l >= 0}
+        assert got == dict(expected)
+
+    def test_iterations_equal_levels(self, rmat_image):
+        source = int(np.argmax(rmat_image.out_csr.degrees()))
+        levels, trace = bfs_trace(rmat_image, source)
+        assert trace.num_iterations == int(levels.max()) + 1
+
+    def test_first_iteration_is_the_source(self, er_image):
+        _, trace = bfs_trace(er_image, 0)
+        assert trace.iterations[0].active_vertices == 1
+
+    def test_edges_equal_frontier_out_degrees(self, er_image):
+        levels, trace = bfs_trace(er_image, 0)
+        out_deg = er_image.out_csr.degrees()
+        for level, stats in enumerate(trace.iterations):
+            members = np.nonzero(levels == level)[0]
+            assert stats.active_vertices == members.size
+            assert stats.edges_traversed == int(out_deg[members].sum())
+
+
+class TestPageRankTrace:
+    def test_active_set_shrinks(self, er_image):
+        _, trace = pagerank_trace(er_image, max_iterations=30)
+        first = trace.iterations[0].active_vertices
+        last = trace.iterations[-1].active_vertices
+        assert first == er_image.num_vertices
+        assert last < first
+
+    def test_matches_engine_pagerank(self, er_image, make_engine):
+        from repro.algorithms.pagerank import pagerank
+
+        reference, _ = pagerank_trace(er_image, max_iterations=40, tolerance=1e-10)
+        ranks, _ = pagerank(
+            make_engine(er_image), max_iterations=40, tolerance=1e-10
+        )
+        assert np.abs(ranks - reference).max() < 1e-9
+
+
+class TestWCCTrace:
+    def test_components_match_networkx(self, er_image, er_digraph):
+        labels, trace = wcc_trace(er_image)
+        expected = {frozenset(c) for c in nx.weakly_connected_components(er_digraph)}
+        groups = {}
+        for v, c in enumerate(labels):
+            groups.setdefault(int(c), set()).add(v)
+        assert {frozenset(s) for s in groups.values()} == expected
+
+    def test_first_iteration_all_active(self, er_image):
+        _, trace = wcc_trace(er_image)
+        assert trace.iterations[0].active_vertices == er_image.num_vertices
+
+
+class TestTriangleAndScanTraces:
+    def test_triangle_total_matches_networkx(self, er_image, er_ugraph):
+        total, trace = triangle_trace(er_image)
+        assert total == sum(nx.triangles(er_ugraph).values()) // 3
+        assert trace.total_edges > 0
+
+    def test_scan_matches_brute_force(self, er_image, er_ugraph):
+        best, _ = scan_trace(er_image)
+        expected = 0
+        for v in er_ugraph.nodes():
+            nb = set(er_ugraph.neighbors(v)) - {v}
+            among = sum(
+                1 for a in nb for b in er_ugraph.neighbors(a) if b in nb and b > a
+            )
+            expected = max(expected, len(nb) + among)
+        assert best == expected
+
+
+class TestBCTrace:
+    def test_has_forward_and_backward_phases(self, er_image):
+        levels, trace = bc_trace(er_image, 0)
+        max_level = int(levels.max())
+        # forward levels + backward passes over levels > 0
+        assert trace.num_iterations == (max_level + 1) + max_level
+
+
+class TestDataclasses:
+    def test_trace_totals(self):
+        trace = WorkloadTrace("x", [IterationStats(2, 10), IterationStats(1, 5)])
+        assert trace.total_edges == 15
+        assert trace.total_active == 3
+        assert trace.num_iterations == 2
+
+    def test_report_fields(self):
+        report = BaselineReport("sys", "alg", 1.0, 2, 3.0, 4.0, 5.0)
+        assert report.system == "sys"
+        assert report.details == {}

@@ -1,0 +1,186 @@
+"""Tests for the four comparator engines and the paper's ordering claims."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.wcc import wcc
+from repro.baselines import (
+    GaloisEngine,
+    GraphChiEngine,
+    PowerGraphEngine,
+    XStreamEngine,
+)
+from repro.baselines.galois import direction_optimizing_trace
+from repro.baselines.powergraph import PowerGraphCostModel
+from repro.core.config import ExecutionMode
+
+from tests.conftest import engine_for
+
+
+@pytest.fixture(scope="module")
+def big_image():
+    """A Twitter-profile graph big enough that per-edge work dominates
+    per-iteration overheads (needed for the ordering claims)."""
+    from repro.graph.builder import build_directed
+    from repro.graph.generators import twitter_sim
+
+    edges, n = twitter_sim(scale=12)
+    return build_directed(edges, n, name="tw12")
+
+
+@pytest.fixture(scope="module")
+def fg_results(big_image):
+    """FlashGraph reference numbers on the Twitter-profile graph."""
+    source = int(np.argmax(big_image.out_csr.degrees()))
+    out = {}
+    _, out["bfs_sem"] = bfs(
+        engine_for(big_image, num_threads=32, range_shift=7), source
+    )
+    _, out["bfs_mem"] = bfs(
+        engine_for(
+            big_image, mode=ExecutionMode.IN_MEMORY, num_threads=32, range_shift=7
+        ),
+        source,
+    )
+    _, out["pr_sem"] = pagerank(
+        engine_for(big_image, num_threads=32, range_shift=7), max_iterations=30
+    )
+    _, out["pr_mem"] = pagerank(
+        engine_for(
+            big_image, mode=ExecutionMode.IN_MEMORY, num_threads=32, range_shift=7
+        ),
+        max_iterations=30,
+    )
+    _, out["wcc_mem"] = wcc(
+        engine_for(
+            big_image, mode=ExecutionMode.IN_MEMORY, num_threads=32, range_shift=7
+        )
+    )
+    out["source"] = source
+    return out
+
+
+class TestGraphChi:
+    def test_no_bfs(self, rmat_image):
+        with pytest.raises(ValueError):
+            GraphChiEngine(rmat_image).run("bfs")
+
+    def test_unknown_algorithm(self, rmat_image):
+        with pytest.raises(ValueError):
+            GraphChiEngine(rmat_image).run("mystery")
+
+    def test_reads_whole_graph_every_iteration(self, rmat_image):
+        report = GraphChiEngine(rmat_image).run("wcc")
+        assert report.bytes_read >= report.iterations * rmat_image.storage_bytes()
+
+    def test_writes_happen(self, rmat_image):
+        report = GraphChiEngine(rmat_image).run("pagerank")
+        assert report.bytes_written > 0
+
+    def test_memory_model_scales_with_shards(self, rmat_image):
+        from repro.baselines.graphchi import GraphChiCostModel
+
+        few = GraphChiEngine(rmat_image, GraphChiCostModel(num_shards=2))
+        many = GraphChiEngine(rmat_image, GraphChiCostModel(num_shards=16))
+        assert few.memory_bytes() > many.memory_bytes()
+
+
+class TestXStream:
+    def test_supports_bfs_but_scans_everything(self, rmat_image):
+        source = int(np.argmax(rmat_image.out_csr.degrees()))
+        report = XStreamEngine(rmat_image).run("bfs", source)
+        # Every iteration streams at least the full edge array.
+        edge_bytes = rmat_image.out_csr.num_edges * 8
+        assert report.bytes_read >= report.iterations * edge_bytes
+
+    def test_triangle_semi_streaming(self, rmat_image):
+        report = XStreamEngine(rmat_image).run("triangle_count")
+        assert report.details["triangles"] >= 0
+        assert report.bytes_read > 0
+
+    def test_unknown_algorithm(self, rmat_image):
+        with pytest.raises(ValueError):
+            XStreamEngine(rmat_image).run("nope")
+
+
+class TestPowerGraph:
+    def test_single_machine_has_no_replication(self, rmat_image):
+        engine = PowerGraphEngine(rmat_image)
+        assert engine.replication_factor == 1.0
+        report = engine.run("pagerank")
+        assert report.details["network_bytes"] == 0.0
+
+    def test_distributed_replication_measured(self, rmat_image):
+        engine = PowerGraphEngine(
+            rmat_image, PowerGraphCostModel(num_machines=8)
+        )
+        assert 1.0 < engine.replication_factor <= 8.0
+
+    def test_distributed_pays_network(self, rmat_image):
+        local = PowerGraphEngine(rmat_image).run("wcc")
+        distributed = PowerGraphEngine(
+            rmat_image, PowerGraphCostModel(num_machines=8)
+        ).run("wcc")
+        assert distributed.details["network_bytes"] > 0
+
+    def test_invalid_machines(self, rmat_image):
+        with pytest.raises(ValueError):
+            PowerGraphEngine(rmat_image, PowerGraphCostModel(num_machines=0))
+
+
+class TestGalois:
+    def test_direction_optimizing_levels_correct(self, rmat_image, rmat_digraph):
+        import networkx as nx
+
+        source = int(np.argmax(rmat_image.out_csr.degrees()))
+        levels, trace = direction_optimizing_trace(rmat_image, source, 0.05)
+        expected = nx.single_source_shortest_path_length(rmat_digraph, source)
+        got = {v: int(l) for v, l in enumerate(levels) if l >= 0}
+        assert got == dict(expected)
+
+    def test_direction_optimizing_examines_fewer_edges(self, rmat_image):
+        from repro.baselines.common import bfs_trace
+
+        source = int(np.argmax(rmat_image.out_csr.degrees()))
+        _, top_down = bfs_trace(rmat_image, source)
+        _, dir_opt = direction_optimizing_trace(rmat_image, source, 0.05)
+        assert dir_opt.total_edges < top_down.total_edges
+
+    def test_scan_statistics_supported(self, er_image):
+        report = GaloisEngine(er_image).run("scan_statistics")
+        assert report.runtime > 0
+
+
+class TestPaperOrderings:
+    """The qualitative results of Figures 10 and 11."""
+
+    def test_galois_wins_traversal(self, big_image, fg_results):
+        galois = GaloisEngine(big_image).run("bfs", fg_results["source"])
+        assert galois.runtime < fg_results["bfs_mem"].runtime
+
+    def test_fg_mem_wins_pagerank_over_galois(self, big_image, fg_results):
+        galois = GaloisEngine(big_image).run("pagerank")
+        assert fg_results["pr_mem"].runtime < galois.runtime
+
+    def test_fg_mem_wins_wcc_over_galois(self, big_image, fg_results):
+        galois = GaloisEngine(big_image).run("wcc")
+        assert fg_results["wcc_mem"].runtime < galois.runtime
+
+    def test_fg_sem_beats_powergraph(self, big_image, fg_results):
+        pg = PowerGraphEngine(big_image)
+        assert fg_results["bfs_sem"].runtime < pg.run("bfs", fg_results["source"]).runtime
+        assert fg_results["pr_sem"].runtime < pg.run("pagerank").runtime
+
+    def test_fg_sem_beats_external_engines_by_a_lot(self, big_image, fg_results):
+        source = fg_results["source"]
+        xs_bfs = XStreamEngine(big_image).run("bfs", source)
+        assert xs_bfs.runtime > 10 * fg_results["bfs_sem"].runtime
+        gc_pr = GraphChiEngine(big_image).run("pagerank")
+        assert gc_pr.runtime > 5 * fg_results["pr_sem"].runtime
+
+    def test_fg_sem_reads_fewer_bytes_than_streamers(self, big_image, fg_results):
+        source = fg_results["source"]
+        xs = XStreamEngine(big_image).run("bfs", source)
+        assert fg_results["bfs_sem"].bytes_read < xs.bytes_read

@@ -1,0 +1,63 @@
+"""Tests for the dataset registry and cache scaling."""
+
+import pytest
+
+from repro.bench.datasets import (
+    CACHE_SCALE,
+    DATASETS,
+    load_dataset,
+    scaled_cache_bytes,
+)
+
+
+class TestScaledCache:
+    def test_one_gib(self):
+        assert scaled_cache_bytes(1.0) == (1 << 30) // CACHE_SCALE
+
+    def test_ratios_preserved(self):
+        assert scaled_cache_bytes(32.0) == 32 * scaled_cache_bytes(1.0)
+
+    def test_floor(self):
+        # Tiny paper caches still get a workable number of pages.
+        assert scaled_cache_bytes(0.0001) >= 1 << 14
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            scaled_cache_bytes(0)
+
+
+class TestRegistry:
+    def test_three_paper_datasets(self):
+        assert set(DATASETS) == {"twitter-sim", "subdomain-sim", "page-sim"}
+
+    def test_paper_metadata_matches_table1(self):
+        twitter = DATASETS["twitter-sim"]
+        assert twitter.paper_vertices == "42M"
+        assert twitter.paper_edges == "1.5B"
+        assert twitter.paper_diameter == 23
+        page = DATASETS["page-sim"]
+        assert page.paper_size == "1.1TB"
+        assert page.paper_diameter == 650
+
+    def test_load_is_memoised(self):
+        a = load_dataset("twitter-sim")
+        b = load_dataset("twitter-sim")
+        assert a is b
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("facebook")
+
+    def test_edge_ratios(self):
+        twitter = load_dataset("twitter-sim")
+        ratio = twitter.num_edges / twitter.num_vertices
+        assert 25 <= ratio <= 40  # paper: ~36 before dedup
+        subdomain = load_dataset("subdomain-sim")
+        ratio = subdomain.num_edges / subdomain.num_vertices
+        assert 15 <= ratio <= 25  # paper: ~22
+
+    def test_page_graph_is_largest(self):
+        sizes = {
+            name: load_dataset(name).storage_bytes() for name in DATASETS
+        }
+        assert sizes["page-sim"] == max(sizes.values())

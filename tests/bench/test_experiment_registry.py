@@ -1,0 +1,53 @@
+"""Meta-tests: the experiment registry, bench files and docs stay in sync."""
+
+import pathlib
+
+import pytest
+
+from repro import cli
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+BENCHMARKS = REPO / "benchmarks"
+
+
+class TestRegistryCompleteness:
+    def test_every_cli_experiment_has_a_bench_file(self):
+        # Extra experiments share bench_extra_ablations/bench_sec56 files.
+        shared = {
+            "ablations": "bench_ablations.py",
+            "sec56": "bench_sec56_clusters.py",
+            "turbograph": "bench_extra_ablations.py",
+            "cache-policy": "bench_extra_ablations.py",
+            "stragglers": "bench_extra_ablations.py",
+            "partitioning": "bench_extra_ablations.py",
+        }
+        for name in cli.EXPERIMENTS:
+            if name in shared:
+                assert (BENCHMARKS / shared[name]).exists(), name
+                continue
+            matches = list(BENCHMARKS.glob(f"bench_{name}_*.py"))
+            assert matches, f"no benchmark file regenerates {name!r}"
+
+    def test_all_paper_experiments_registered(self):
+        # Every table/figure of the paper's evaluation section.
+        paper = {"table1", "table2", "fig8", "fig9", "fig10", "fig11",
+                 "fig12", "fig13", "fig14"}
+        assert paper <= set(cli.EXPERIMENTS)
+
+    def test_design_md_indexes_every_bench_file(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for bench in sorted(BENCHMARKS.glob("bench_*.py")):
+            assert bench.name in design, f"DESIGN.md does not index {bench.name}"
+
+    def test_experiments_md_covers_every_paper_item(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for heading in (
+            "Table 1", "Figure 8", "Figure 9", "Figure 10", "Figure 11",
+            "Figure 12", "Figure 13", "Figure 14", "Table 2", "§5.6",
+        ):
+            assert heading in text, f"EXPERIMENTS.md lacks {heading}"
+
+    def test_readme_mentions_every_example(self):
+        readme = (REPO / "README.md").read_text()
+        for example in sorted((REPO / "examples").glob("*.py")):
+            assert example.name in readme, f"README does not list {example.name}"

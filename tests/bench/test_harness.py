@@ -1,0 +1,116 @@
+"""Tests for the benchmark harness and reporting helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    BASELINE_ENGINES,
+    PAPER_APPS,
+    default_source,
+    make_engine,
+    result_row,
+    run_algorithm,
+    run_baseline,
+)
+from repro.bench.reporting import format_table, format_value, human_bytes
+from repro.core.config import ExecutionMode
+from repro.graph.builder import build_directed
+from repro.graph.generators import rmat_graph
+
+
+@pytest.fixture(scope="module")
+def small_image():
+    edges, n = rmat_graph(scale=8, edge_factor=6, seed=4)
+    return build_directed(edges, n, name="harness")
+
+
+class TestMakeEngine:
+    def test_semi_external_wiring(self, small_image):
+        engine = make_engine(small_image, cache_bytes=1 << 16, page_size=4096)
+        assert engine.safs is not None
+        assert engine.safs.cache.config.capacity_bytes == 1 << 16
+        assert engine.stats is engine.safs.stats
+
+    def test_in_memory_has_no_safs(self, small_image):
+        engine = make_engine(small_image, mode=ExecutionMode.IN_MEMORY)
+        assert engine.safs is None
+
+    def test_config_overrides_forwarded(self, small_image):
+        engine = make_engine(small_image, merge_in_engine=False)
+        assert not engine.config.merge_in_engine
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("app", PAPER_APPS)
+    def test_every_paper_app_runs(self, small_image, app):
+        engine = make_engine(small_image, cache_bytes=1 << 18, range_shift=5)
+        result = run_algorithm(engine, app)
+        assert result.runtime > 0
+        assert result.iterations >= 1
+
+    def test_unknown_app(self, small_image):
+        with pytest.raises(ValueError):
+            run_algorithm(make_engine(small_image), "dijkstra")
+
+    def test_default_source_is_largest_hub(self, small_image):
+        source = default_source(small_image)
+        degrees = small_image.out_csr.degrees()
+        assert degrees[source] == degrees.max()
+
+
+class TestRunBaseline:
+    def test_known_systems(self, small_image):
+        for system in BASELINE_ENGINES:
+            if system == "graphchi":
+                report = run_baseline(system, small_image, "pr")
+            else:
+                report = run_baseline(system, small_image, "bfs")
+            assert report.runtime > 0
+
+    def test_unknown_system(self, small_image):
+        with pytest.raises(ValueError):
+            run_baseline("neo4j", small_image, "bfs")
+
+
+class TestResultRow:
+    def test_row_fields(self, small_image):
+        engine = make_engine(small_image, range_shift=5)
+        result = run_algorithm(engine, "bfs")
+        row = result_row("FG-1G", "bfs", result)
+        assert row["system"] == "FG-1G"
+        assert row["runtime_s"] == result.runtime
+        assert row["read_MB"] == result.bytes_read / 1e6
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(0.0) == "0"
+        assert format_value(1234.5) == "1,234"  # banker-rounds to even
+        assert format_value(3.14159) == "3.14"
+        assert format_value(0.01) == "0.0100"
+        assert format_value(1e-7) == "1.000e-07"
+        assert format_value("label") == "label"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        table = format_table(rows, title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_format_table_missing_cells(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        table = format_table(rows, columns=["a", "b"])
+        assert "3" in table
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512B"
+        assert human_bytes(1536) == "1.5KiB"
+        assert human_bytes(5 * 1 << 20) == "5.0MiB"
+        assert human_bytes(2.5 * (1 << 40)) == "2.5TiB"

@@ -1,0 +1,43 @@
+"""Unit tests for engine configuration."""
+
+import pytest
+
+from repro.core.config import EngineConfig, ExecutionMode, ScheduleOrder
+
+
+class TestEngineConfig:
+    def test_paper_defaults(self):
+        cfg = EngineConfig()
+        assert cfg.num_threads == 32
+        assert cfg.max_running_vertices == 4000
+        assert cfg.mode is ExecutionMode.SEMI_EXTERNAL
+        assert cfg.merge_in_engine
+        assert cfg.schedule_order is ScheduleOrder.BY_ID
+        assert cfg.load_balance
+
+    def test_with_overrides(self):
+        cfg = EngineConfig().with_overrides(num_threads=8, merge_in_engine=False)
+        assert cfg.num_threads == 8
+        assert not cfg.merge_in_engine
+        # original untouched
+        assert EngineConfig().num_threads == 32
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_threads", 0),
+            ("max_running_vertices", 0),
+            ("range_shift", -1),
+            ("vertical_part_threshold", -1),
+            ("vertical_part_size", 0),
+            ("message_flush_threshold", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            EngineConfig(**{field: value})
+
+    def test_frozen(self):
+        cfg = EngineConfig()
+        with pytest.raises(Exception):
+            cfg.num_threads = 4

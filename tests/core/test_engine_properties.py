@@ -1,0 +1,120 @@
+"""Property-based tests on engine invariants over random graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ExecutionMode
+from repro.core.vertex_program import VertexProgram
+from repro.graph.builder import build_directed
+from repro.graph.types import EdgeType
+
+from tests.conftest import engine_for
+
+
+class DeliveryAudit(VertexProgram):
+    """Requests every active vertex's own list and audits deliveries."""
+
+    edge_type = EdgeType.OUT
+    combiner = None
+
+    def __init__(self):
+        self.delivered = {}
+
+    def run(self, g, vertex):
+        g.request_self(vertex)
+
+    def run_on_vertex(self, g, vertex, page_vertex):
+        assert page_vertex.vertex_id == vertex
+        self.delivered[vertex] = self.delivered.get(vertex, 0) + 1
+
+
+class MassConservation(VertexProgram):
+    """Sends unit mass along every edge; receivers accumulate."""
+
+    edge_type = EdgeType.OUT
+    combiner = "sum"
+
+    def __init__(self, n):
+        self.received = np.zeros(n)
+        self.sent = 0
+
+    def run(self, g, vertex):
+        g.request_self(vertex)
+
+    def run_on_vertex(self, g, vertex, page_vertex):
+        edges = page_vertex.read_edges()
+        if edges.size:
+            self.sent += int(edges.size)
+            g.send_message(edges, 1.0)
+
+    def run_on_message(self, g, vertex, value):
+        self.received[vertex] += value
+
+
+@st.composite
+def random_images(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=2, max_value=80))
+    rng = np.random.default_rng(seed)
+    m = int(draw(st.integers(min_value=0, max_value=4)) * n)
+    edges = rng.integers(0, n, size=(m, 2), dtype=np.int64)
+    return build_directed(edges, n, name=f"prop-{seed}-{n}-{m}")
+
+
+class TestEngineInvariants:
+    @given(image=random_images())
+    @settings(max_examples=25, deadline=None)
+    def test_every_request_delivered_exactly_once(self, image):
+        for mode in ExecutionMode:
+            engine = engine_for(image, mode=mode, num_threads=2, range_shift=3)
+            program = DeliveryAudit()
+            engine.run(program, max_iterations=1)
+            assert set(program.delivered) == set(range(image.num_vertices))
+            assert all(count == 1 for count in program.delivered.values())
+
+    @given(image=random_images())
+    @settings(max_examples=25, deadline=None)
+    def test_message_mass_conserved(self, image):
+        engine = engine_for(image, num_threads=2, range_shift=3)
+        program = MassConservation(image.num_vertices)
+        engine.run(program, max_iterations=2)
+        assert program.received.sum() == pytest.approx(program.sent)
+        # Each vertex receives exactly its in-degree.
+        in_degrees = image.in_csr.degrees()
+        assert np.array_equal(program.received.astype(np.int64), in_degrees)
+
+    @given(
+        image=random_images(),
+        threads=st.sampled_from([1, 3, 8]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_results_independent_of_thread_count(self, image, threads):
+        from repro.algorithms.wcc import wcc
+
+        base, _ = wcc(engine_for(image, num_threads=2, range_shift=3))
+        other, _ = wcc(engine_for(image, num_threads=threads, range_shift=3))
+        assert np.array_equal(base, other)
+
+    @given(image=random_images())
+    @settings(max_examples=15, deadline=None)
+    def test_virtual_time_deterministic(self, image):
+        from repro.algorithms.bfs import bfs
+
+        results = [
+            bfs(engine_for(image, num_threads=4, range_shift=3), source=0)[1]
+            for _ in range(2)
+        ]
+        assert results[0].runtime == results[1].runtime
+        assert results[0].cpu_busy == results[1].cpu_busy
+
+    @given(image=random_images())
+    @settings(max_examples=15, deadline=None)
+    def test_busy_never_exceeds_elapsed_capacity(self, image):
+        from repro.algorithms.pagerank import pagerank
+
+        engine = engine_for(image, num_threads=4, range_shift=3)
+        _, result = pagerank(engine, max_iterations=5)
+        # Total busy time cannot exceed wall time times worker count.
+        assert result.cpu_busy <= result.runtime * engine.config.num_threads + 1e-12

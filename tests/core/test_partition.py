@@ -1,0 +1,90 @@
+"""Unit and property tests for 2D partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import RangePartitioner, VertexPart, split_into_parts
+
+
+class TestRangePartitioner:
+    def test_formula(self):
+        p = RangePartitioner(num_partitions=4, range_shift=2)
+        # (vid >> 2) % 4
+        assert p.partition_of(0) == 0
+        assert p.partition_of(3) == 0
+        assert p.partition_of(4) == 1
+        assert p.partition_of(16) == 0
+        assert p.partition_of(20) == 1
+
+    def test_range_size(self):
+        assert RangePartitioner(4, 3).range_size == 8
+
+    def test_vectorised_matches_scalar(self):
+        p = RangePartitioner(num_partitions=5, range_shift=3)
+        ids = np.arange(200)
+        vec = p.partition_many(ids)
+        assert all(vec[i] == p.partition_of(i) for i in range(200))
+
+    def test_split_covers_exactly_once(self):
+        p = RangePartitioner(num_partitions=3, range_shift=2)
+        ids = np.array([0, 5, 9, 13, 20, 21])
+        groups = p.split(ids)
+        assert len(groups) == 3
+        recombined = sorted(int(v) for g in groups for v in g)
+        assert recombined == sorted(ids.tolist())
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(0, 2)
+        with pytest.raises(ValueError):
+            RangePartitioner(2, -1)
+        with pytest.raises(ValueError):
+            RangePartitioner(2, 1).partition_of(-1)
+
+    @given(
+        ids=st.lists(st.integers(min_value=0, max_value=10_000), max_size=200),
+        n=st.integers(min_value=1, max_value=16),
+        r=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_split_is_a_partition(self, ids, n, r):
+        p = RangePartitioner(n, r)
+        ids = np.asarray(ids, dtype=np.int64)
+        groups = p.split(ids)
+        assert sum(len(g) for g in groups) == len(ids)
+        for part_id, group in enumerate(groups):
+            for v in group:
+                assert p.partition_of(int(v)) == part_id
+
+
+class TestVerticalParts:
+    def test_single_part_for_small_request(self):
+        parts = split_into_parts(7, np.array([3, 1, 2]), part_size=10)
+        assert len(parts) == 1
+        assert parts[0].targets.tolist() == [1, 2, 3]
+        assert parts[0].num_parts == 1
+
+    def test_splits_and_sorts(self):
+        targets = np.array([9, 1, 5, 3, 7, 2])
+        parts = split_into_parts(0, targets, part_size=2)
+        assert len(parts) == 3
+        assert [p.targets.tolist() for p in parts] == [[1, 2], [3, 5], [7, 9]]
+        assert all(p.num_parts == 3 for p in parts)
+        assert [p.part_index for p in parts] == [0, 1, 2]
+
+    def test_parts_cover_exactly(self):
+        targets = np.arange(23)
+        parts = split_into_parts(0, targets, part_size=5)
+        covered = np.concatenate([p.targets for p in parts])
+        assert sorted(covered.tolist()) == targets.tolist()
+
+    def test_invalid_part_size(self):
+        with pytest.raises(ValueError):
+            split_into_parts(0, np.array([1]), part_size=0)
+
+    def test_vertex_part_fields(self):
+        part = VertexPart(vertex=3, part_index=1, num_parts=2, targets=np.array([5]))
+        assert part.vertex == 3
+        assert part.part_index == 1

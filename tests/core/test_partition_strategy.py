@@ -1,0 +1,100 @@
+"""Tests for the range-vs-hash partitioning strategies (§3.8)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.wcc import wcc
+from repro.core.config import PartitionStrategy
+from repro.core.partition import HashPartitioner, RangePartitioner
+
+from tests.conftest import engine_for
+
+
+class TestHashPartitioner:
+    def test_is_a_partition(self):
+        p = HashPartitioner(num_partitions=5)
+        ids = np.arange(500)
+        groups = p.split(ids)
+        assert sum(len(g) for g in groups) == 500
+        for part_id, group in enumerate(groups):
+            assert all(p.partition_of(int(v)) == part_id for v in group)
+
+    def test_scatters_consecutive_ids(self):
+        p = HashPartitioner(num_partitions=8)
+        owners = p.partition_many(np.arange(64))
+        # Consecutive IDs land on many different partitions.
+        assert len(set(owners.tolist())) == 8
+
+    def test_range_keeps_consecutive_ids_together(self):
+        p = RangePartitioner(num_partitions=8, range_shift=5)
+        owners = p.partition_many(np.arange(32))
+        assert len(set(owners.tolist())) == 1
+
+    def test_vectorised_matches_scalar(self):
+        p = HashPartitioner(num_partitions=7)
+        ids = np.arange(100)
+        vec = p.partition_many(ids)
+        assert all(vec[i] == p.partition_of(i) for i in range(100))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(4).partition_of(-1)
+
+    def test_roughly_balanced(self):
+        p = HashPartitioner(num_partitions=4)
+        counts = np.bincount(p.partition_many(np.arange(10_000)), minlength=4)
+        assert counts.min() > 0.8 * counts.mean()
+
+
+class TestEngineWithHashPartitioning:
+    def test_results_identical(self, rmat_image):
+        by_range, _ = bfs(engine_for(rmat_image), source=0)
+        by_hash, _ = bfs(
+            engine_for(rmat_image, partition_strategy=PartitionStrategy.HASH),
+            source=0,
+        )
+        assert np.array_equal(by_range, by_hash)
+
+    @pytest.fixture(scope="class")
+    def big_image(self):
+        # The file must be many pages wide for partition locality to
+        # matter at all (the session fixture's file is ~5 pages).
+        from repro.graph.builder import build_directed
+        from repro.graph.generators import rmat_graph
+
+        edges, n = rmat_graph(scale=13, edge_factor=16, seed=3)
+        return build_directed(edges, n, name="partition-big")
+
+    def test_range_partitioning_is_more_io_efficient(self, big_image):
+        # §3.8: range partitioning keeps each thread's edge lists in one
+        # region of the file, so a thread's working set stays small and
+        # cached; hashing makes every thread touch the whole file and
+        # re-fetch what other threads' pages evicted.
+        knobs = dict(
+            cache_kib=64, max_running_vertices=256, range_shift=6, num_threads=4
+        )
+        _, ranged = wcc(engine_for(big_image, **knobs))
+        _, hashed = wcc(
+            engine_for(
+                big_image, partition_strategy=PartitionStrategy.HASH, **knobs
+            )
+        )
+        assert ranged.counters.get("io.pages_fetched") < hashed.counters.get(
+            "io.pages_fetched"
+        )
+        assert ranged.runtime < hashed.runtime
+
+    def test_request_size_histogram_recorded(self, big_image):
+        knobs = dict(cache_kib=64, max_running_vertices=256, range_shift=6,
+                     num_threads=4)
+        _, result = wcc(engine_for(big_image, **knobs))
+        sizes = sum(
+            result.counters.get(f"io.size_{bucket}", 0)
+            for bucket in ("1_page", "2_8_pages", "9_64_pages", "65plus_pages")
+        )
+        # Every dispatched request lands in exactly one size bucket.
+        assert sizes == result.counters.get("io.dispatched")
+        # §3.6: request sizes span one page up to large merged spans.
+        assert result.counters.get("io.size_1_page", 0) > 0
+        assert result.counters.get("io.size_2_8_pages", 0) > 0

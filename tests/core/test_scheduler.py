@@ -1,0 +1,75 @@
+"""Unit tests for the vertex scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig, ScheduleOrder
+from repro.core.scheduler import VertexScheduler, make_scheduler
+
+
+class TestByID:
+    def test_sorts_ascending(self):
+        s = VertexScheduler(ScheduleOrder.BY_ID, alternate=False)
+        out = s.schedule(np.array([5, 1, 3]), iteration=0)
+        assert out.tolist() == [1, 3, 5]
+
+    def test_alternates_direction(self):
+        s = VertexScheduler(ScheduleOrder.BY_ID, alternate=True)
+        assert s.schedule(np.array([5, 1, 3]), 0).tolist() == [1, 3, 5]
+        assert s.schedule(np.array([5, 1, 3]), 1).tolist() == [5, 3, 1]
+        assert s.schedule(np.array([5, 1, 3]), 2).tolist() == [1, 3, 5]
+
+    def test_no_alternation_when_disabled(self):
+        s = VertexScheduler(ScheduleOrder.BY_ID, alternate=False)
+        assert s.schedule(np.array([5, 1, 3]), 1).tolist() == [1, 3, 5]
+
+    def test_empty(self):
+        s = VertexScheduler()
+        assert s.schedule(np.array([], dtype=np.int64), 0).size == 0
+
+
+class TestRandom:
+    def test_is_permutation(self):
+        s = VertexScheduler(ScheduleOrder.RANDOM)
+        ids = np.arange(100)
+        out = s.schedule(ids, 0)
+        assert sorted(out.tolist()) == ids.tolist()
+
+    def test_not_sorted_with_high_probability(self):
+        s = VertexScheduler(ScheduleOrder.RANDOM, seed=1)
+        out = s.schedule(np.arange(200), 0)
+        assert out.tolist() != sorted(out.tolist())
+
+    def test_seed_reproducible(self):
+        a = VertexScheduler(ScheduleOrder.RANDOM, seed=3).schedule(np.arange(50), 0)
+        b = VertexScheduler(ScheduleOrder.RANDOM, seed=3).schedule(np.arange(50), 0)
+        assert a.tolist() == b.tolist()
+
+
+class TestCustom:
+    def test_custom_order_applied(self):
+        order = lambda ids, it: np.sort(ids)[::-1]
+        s = VertexScheduler(ScheduleOrder.CUSTOM, custom_order=order)
+        assert s.schedule(np.array([1, 5, 3]), 0).tolist() == [5, 3, 1]
+
+    def test_custom_without_function_rejected(self):
+        with pytest.raises(ValueError):
+            VertexScheduler(ScheduleOrder.CUSTOM)
+
+    def test_custom_must_be_permutation_size(self):
+        order = lambda ids, it: ids[:1]
+        s = VertexScheduler(ScheduleOrder.CUSTOM, custom_order=order)
+        with pytest.raises(ValueError):
+            s.schedule(np.array([1, 2, 3]), 0)
+
+
+class TestMakeScheduler:
+    def test_from_config(self):
+        cfg = EngineConfig(schedule_order=ScheduleOrder.RANDOM)
+        s = make_scheduler(cfg)
+        assert s.order is ScheduleOrder.RANDOM
+
+    def test_custom_from_config(self):
+        cfg = EngineConfig(schedule_order=ScheduleOrder.CUSTOM)
+        s = make_scheduler(cfg, custom_order=lambda ids, it: ids)
+        assert s.schedule(np.array([2, 1]), 0).tolist() == [2, 1]

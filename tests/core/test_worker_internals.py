@@ -1,0 +1,59 @@
+"""Unit tests for the engine's worker queue/steal mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import _Worker
+
+
+class TestWorkerQueue:
+    def test_take_advances(self):
+        worker = _Worker(0)
+        worker.queue = np.arange(10)
+        assert worker.take(4).tolist() == [0, 1, 2, 3]
+        assert worker.remaining == 6
+        assert worker.take(100).tolist() == [4, 5, 6, 7, 8, 9]
+        assert worker.remaining == 0
+
+    def test_take_empty(self):
+        worker = _Worker(0)
+        assert worker.take(5).size == 0
+
+    def test_steal_from_tail(self):
+        worker = _Worker(0)
+        worker.queue = np.arange(10)
+        worker.take(2)
+        stolen = worker.steal_from_tail(3)
+        assert stolen.tolist() == [7, 8, 9]
+        # The remaining queue excludes both taken and stolen vertices.
+        assert worker.take(100).tolist() == [2, 3, 4, 5, 6]
+
+    def test_steal_respects_position(self):
+        worker = _Worker(0)
+        worker.queue = np.arange(4)
+        worker.take(3)
+        stolen = worker.steal_from_tail(10)
+        assert stolen.tolist() == [3]
+        assert worker.remaining == 0
+
+    def test_steal_from_empty(self):
+        worker = _Worker(0)
+        assert worker.steal_from_tail(5).size == 0
+
+    def test_steal_zero(self):
+        worker = _Worker(0)
+        worker.queue = np.arange(3)
+        assert worker.steal_from_tail(0).size == 0
+        assert worker.remaining == 3
+
+    def test_no_vertex_lost_or_duplicated_under_interleaving(self):
+        worker = _Worker(0)
+        worker.queue = np.arange(100)
+        seen = []
+        rng = np.random.default_rng(0)
+        while worker.remaining:
+            if rng.random() < 0.5:
+                seen.extend(worker.take(int(rng.integers(1, 8))).tolist())
+            else:
+                seen.extend(worker.steal_from_tail(int(rng.integers(1, 8))).tolist())
+        assert sorted(seen) == list(range(100))

@@ -1,0 +1,91 @@
+"""Tests for the external-memory construction pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import build_directed
+from repro.graph.construction import (
+    RAW_EDGE_BYTES,
+    ConstructionConfig,
+    GraphConstructor,
+    init_time,
+)
+from repro.sim.ssd_array import SSDArray, SSDArrayConfig
+
+
+@pytest.fixture()
+def edges():
+    rng = np.random.default_rng(4)
+    return rng.integers(0, 2000, size=(20_000, 2), dtype=np.int64)
+
+
+class TestNumRuns:
+    def test_fits_in_memory(self):
+        builder = GraphConstructor(config=ConstructionConfig(sort_memory_bytes=1 << 30))
+        assert builder.num_runs(1000) == 1
+
+    def test_spills_into_runs(self):
+        builder = GraphConstructor(
+            config=ConstructionConfig(sort_memory_bytes=100 * RAW_EDGE_BYTES)
+        )
+        assert builder.num_runs(1000) == 10
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            GraphConstructor(config=ConstructionConfig(sort_memory_bytes=0))
+
+
+class TestBuild:
+    def test_image_identical_to_direct_builder(self, edges):
+        report = GraphConstructor().build(edges, 2000, name="c")
+        direct = build_directed(edges, 2000, name="c2")
+        assert report.image.out_bytes == direct.out_bytes
+        assert report.image.in_bytes == direct.in_bytes
+
+    def test_accounting_positive(self, edges):
+        report = GraphConstructor().build(edges, 2000)
+        assert report.seconds > 0
+        assert report.bytes_read > 0
+        assert report.bytes_written >= report.image.storage_bytes()
+        assert report.flash_pages_programmed > 0
+
+    def test_more_runs_means_more_time(self, edges):
+        small = GraphConstructor(
+            config=ConstructionConfig(sort_memory_bytes=1000 * RAW_EDGE_BYTES)
+        ).build(edges, 2000)
+        big = GraphConstructor(
+            config=ConstructionConfig(sort_memory_bytes=1 << 30)
+        ).build(edges, 2000)
+        assert small.num_runs > big.num_runs
+        assert small.seconds > big.seconds
+
+    def test_construction_amortised_over_algorithms(self, edges):
+        # §3.5.2's point: one construction serves every algorithm — the
+        # image carries no algorithm-specific state.
+        report = GraphConstructor().build(edges, 2000)
+        from repro.algorithms.bfs import bfs
+        from repro.algorithms.wcc import wcc
+        from tests.conftest import engine_for
+
+        engine = engine_for(report.image)
+        bfs(engine, 0)
+        wcc(engine)  # same engine, same image, no rebuild
+
+
+class TestInitTime:
+    def test_scales_with_graph_size(self, edges):
+        small = build_directed(edges[:1000], 2000, name="s")
+        large = build_directed(edges, 2000, name="l")
+        assert init_time(small) < init_time(large)
+
+    def test_scales_with_array_speed(self, edges):
+        image = build_directed(edges, 2000)
+        slow = SSDArray(SSDArrayConfig(num_ssds=1))
+        fast = SSDArray(SSDArrayConfig(num_ssds=15))
+        assert init_time(image, slow) > init_time(image, fast)
+
+    def test_roughly_constant_across_algorithms(self, edges):
+        # The paper's Table 2: init is ~30s for every application because
+        # it is a property of the graph, not the algorithm.
+        image = build_directed(edges, 2000)
+        assert init_time(image) == init_time(image)

@@ -1,0 +1,133 @@
+"""Unit and property tests for the on-SSD edge-list format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.format import (
+    EDGE_BYTES,
+    HEADER_BYTES,
+    adjacency_from_edges,
+    edge_list_size,
+    parse_edge_list,
+    serialize_adjacency,
+    serialize_attributes,
+)
+
+
+class TestEdgeListSize:
+    def test_header_only(self):
+        assert edge_list_size(0) == HEADER_BYTES
+
+    def test_scales_with_degree(self):
+        assert edge_list_size(10) == HEADER_BYTES + 10 * EDGE_BYTES
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            edge_list_size(-1)
+
+
+class TestSerializeParse:
+    def test_single_vertex_roundtrip(self):
+        indptr = np.array([0, 3])
+        indices = np.array([5, 7, 9], dtype=np.uint32)
+        data, offsets = serialize_adjacency(indptr, indices)
+        assert offsets.tolist() == [0, HEADER_BYTES + 3 * EDGE_BYTES]
+        vid, neighbors = parse_edge_list(memoryview(data), 0)
+        assert vid == 0
+        assert neighbors.tolist() == [5, 7, 9]
+
+    def test_multi_vertex_roundtrip(self):
+        indptr = np.array([0, 2, 2, 5])
+        indices = np.array([1, 2, 0, 1, 2], dtype=np.uint32)
+        data, offsets = serialize_adjacency(indptr, indices)
+        view = memoryview(data)
+        for v, expected in enumerate([[1, 2], [], [0, 1, 2]]):
+            vid, neighbors = parse_edge_list(view, int(offsets[v]))
+            assert vid == v
+            assert neighbors.tolist() == expected
+
+    def test_empty_graph(self):
+        data, offsets = serialize_adjacency(np.array([0]), np.array([], dtype=np.uint32))
+        assert data == b""
+        assert offsets.tolist() == [0]
+
+    def test_all_isolated(self):
+        data, offsets = serialize_adjacency(np.array([0, 0, 0]), np.array([], dtype=np.uint32))
+        assert len(data) == 2 * HEADER_BYTES
+        vid, neighbors = parse_edge_list(memoryview(data), int(offsets[1]))
+        assert vid == 1
+        assert neighbors.size == 0
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            serialize_adjacency(np.array([1, 2]), np.array([1], dtype=np.uint32))
+        with pytest.raises(ValueError):
+            serialize_adjacency(np.array([0, 2, 1]), np.array([1, 2], dtype=np.uint32))
+
+    def test_parse_truncated_rejected(self):
+        data, _ = serialize_adjacency(np.array([0, 3]), np.array([1, 2, 3], dtype=np.uint32))
+        with pytest.raises(ValueError):
+            parse_edge_list(memoryview(data)[: HEADER_BYTES + 4], 0)
+        with pytest.raises(ValueError):
+            parse_edge_list(memoryview(b"x"), 0)
+
+    @given(
+        degrees=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=30)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, degrees):
+        rng = np.random.default_rng(0)
+        indptr = np.zeros(len(degrees) + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = rng.integers(0, 1000, size=int(indptr[-1])).astype(np.uint32)
+        data, offsets = serialize_adjacency(indptr, indices)
+        assert len(data) == offsets[-1]
+        view = memoryview(data)
+        for v, degree in enumerate(degrees):
+            vid, neighbors = parse_edge_list(view, int(offsets[v]))
+            assert vid == v
+            assert neighbors.tolist() == indices[indptr[v] : indptr[v + 1]].tolist()
+
+
+class TestAttributes:
+    def test_roundtrip(self):
+        indptr = np.array([0, 2, 3])
+        attrs = np.array([1.5, 2.5, 3.5], dtype=np.float32)
+        data, offsets = serialize_attributes(indptr, attrs)
+        assert offsets.tolist() == [0, 8, 12]
+        back = np.frombuffer(data, dtype="<f4")
+        assert back.tolist() == attrs.tolist()
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            serialize_attributes(np.array([0, 2]), np.array([1.0], dtype=np.float32))
+
+
+class TestAdjacencyFromEdges:
+    def test_basic(self):
+        edges = np.array([[0, 1], [0, 2], [2, 0]])
+        indptr, indices = adjacency_from_edges(edges, 3)
+        assert indptr.tolist() == [0, 2, 2, 3]
+        assert indices.tolist() == [1, 2, 0]
+
+    def test_neighbors_sorted(self):
+        edges = np.array([[0, 9], [0, 1], [0, 5]])
+        _, indices = adjacency_from_edges(edges, 10)
+        assert indices.tolist() == [1, 5, 9]
+
+    def test_empty(self):
+        indptr, indices = adjacency_from_edges(np.zeros((0, 2)), 4)
+        assert indptr.tolist() == [0, 0, 0, 0, 0]
+        assert indices.size == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            adjacency_from_edges(np.array([[0, 5]]), 3)
+        with pytest.raises(ValueError):
+            adjacency_from_edges(np.array([[-1, 0]]), 3)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            adjacency_from_edges(np.array([[0, 1, 2]]), 3)

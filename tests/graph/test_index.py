@@ -1,0 +1,125 @@
+"""Unit and property tests for the compact graph index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.format import EDGE_BYTES, HEADER_BYTES, serialize_adjacency
+from repro.graph.index import CHECKPOINT_INTERVAL, LARGE_DEGREE, GraphIndex, build_index
+
+
+class TestDegrees:
+    def test_small_degrees(self):
+        index = GraphIndex(np.array([0, 3, 254]))
+        assert index.degree(0) == 0
+        assert index.degree(1) == 3
+        assert index.degree(2) == 254
+        assert index.num_large_vertices() == 0
+
+    def test_large_degrees_spill_to_hash(self):
+        index = GraphIndex(np.array([255, 10_000, 5]))
+        assert index.degree(0) == 255
+        assert index.degree(1) == 10_000
+        assert index.degree(2) == 5
+        assert index.num_large_vertices() == 2
+
+    def test_degrees_array_roundtrip(self):
+        degrees = np.array([0, 255, 300, 12, 254, 1000])
+        index = GraphIndex(degrees)
+        assert index.degrees_array().tolist() == degrees.tolist()
+
+    def test_degrees_of_vectorised(self):
+        degrees = np.array([1, 300, 7, 255])
+        index = GraphIndex(degrees)
+        got = index.degrees_of(np.array([3, 0, 1]))
+        assert got.tolist() == [255, 1, 300]
+
+    def test_out_of_range(self):
+        index = GraphIndex(np.array([1, 2]))
+        with pytest.raises(IndexError):
+            index.degree(2)
+        with pytest.raises(IndexError):
+            index.degree(-1)
+        with pytest.raises(IndexError):
+            index.locate_many(np.array([5]))
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            GraphIndex(np.array([-1]))
+        with pytest.raises(ValueError):
+            GraphIndex(np.array([[1, 2]]))
+        with pytest.raises(ValueError):
+            GraphIndex(np.array([1]), checkpoint_interval=0)
+
+
+class TestLocate:
+    def test_locations_match_serializer(self):
+        rng = np.random.default_rng(7)
+        degrees = rng.integers(0, 400, size=100)
+        indptr = np.zeros(101, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = rng.integers(0, 100, size=int(indptr[-1])).astype(np.uint32)
+        _, offsets = serialize_adjacency(indptr, indices)
+        index = build_index(degrees, offsets)
+        for v in range(100):
+            offset, size = index.locate(v)
+            assert offset == offsets[v]
+            assert size == HEADER_BYTES + degrees[v] * EDGE_BYTES
+
+    def test_locate_many_matches_locate(self):
+        rng = np.random.default_rng(3)
+        degrees = rng.integers(0, 300, size=200)
+        index = GraphIndex(degrees)
+        vertices = rng.integers(0, 200, size=50)
+        offsets, sizes = index.locate_many(vertices)
+        for v, off, size in zip(vertices, offsets, sizes):
+            assert (off, size) == index.locate(int(v))
+
+    def test_file_size(self):
+        degrees = np.array([2, 0, 3])
+        index = GraphIndex(degrees)
+        assert index.file_size == 3 * HEADER_BYTES + 5 * EDGE_BYTES
+        assert index.num_edges == 5
+
+    def test_build_index_detects_layout_mismatch(self):
+        with pytest.raises(ValueError):
+            build_index(np.array([2]), np.array([0, 999]))
+
+    @given(
+        degrees=st.lists(
+            st.integers(min_value=0, max_value=600), min_size=1, max_size=150
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_locate_property(self, degrees):
+        degrees = np.asarray(degrees)
+        index = GraphIndex(degrees)
+        sizes = HEADER_BYTES + degrees * EDGE_BYTES
+        expected = np.zeros(len(degrees) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=expected[1:])
+        for v in range(len(degrees)):
+            offset, size = index.locate(v)
+            assert offset == expected[v]
+            assert size == sizes[v]
+
+
+class TestMemoryFootprint:
+    def test_roughly_1_25_bytes_per_vertex(self):
+        # Power-law-free graph with no large vertices: 1 byte degree +
+        # 8/32 bytes of checkpoint = 1.25 bytes per vertex.
+        n = 32_000
+        index = GraphIndex(np.full(n, 10))
+        per_vertex = index.memory_bytes() / n
+        assert 1.2 <= per_vertex <= 1.4
+
+    def test_large_vertices_add_hash_entries(self):
+        small = GraphIndex(np.full(1000, 10))
+        degrees = np.full(1000, 10)
+        degrees[::100] = 1000
+        big = GraphIndex(degrees)
+        assert big.memory_bytes() > small.memory_bytes()
+
+    def test_checkpoint_interval_default(self):
+        assert CHECKPOINT_INTERVAL == 32
+        assert LARGE_DEGREE == 255

@@ -1,0 +1,98 @@
+"""Unit tests for edge-list persistence and networkx bridges."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.builder import build_directed, build_undirected
+from repro.graph.io_edge_list import (
+    edges_from_networkx,
+    image_to_networkx,
+    load_edges_npz,
+    load_edges_text,
+    save_edges_npz,
+    save_edges_text,
+)
+
+
+@pytest.fixture()
+def edges():
+    return np.array([[0, 1], [1, 2], [2, 0], [3, 1]])
+
+
+class TestTextRoundtrip:
+    def test_roundtrip(self, tmp_path, edges):
+        path = tmp_path / "graph.txt"
+        save_edges_text(path, edges, 5)
+        loaded, n = load_edges_text(path)
+        assert n == 5
+        assert np.array_equal(loaded, edges)
+
+    def test_headerless_infers_vertices(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 7\n")
+        loaded, n = load_edges_text(path)
+        assert n == 8
+        assert loaded.tolist() == [[0, 1], [1, 7]]
+
+    def test_blank_lines_and_comments_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0 1\n")
+        loaded, n = load_edges_text(path)
+        assert loaded.tolist() == [[0, 1]]
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(ValueError):
+            load_edges_text(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("")
+        loaded, n = load_edges_text(path)
+        assert loaded.shape == (0, 2)
+        assert n == 0
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, tmp_path, edges):
+        path = tmp_path / "graph.npz"
+        save_edges_npz(path, edges, 4)
+        loaded, n = load_edges_npz(path)
+        assert n == 4
+        assert np.array_equal(loaded, edges)
+
+
+class TestNetworkxBridges:
+    def test_edges_from_networkx(self):
+        g = nx.DiGraph([(0, 1), (1, 2)])
+        edges, n = edges_from_networkx(g)
+        assert n == 3
+        assert sorted(map(tuple, edges.tolist())) == [(0, 1), (1, 2)]
+
+    def test_relabels_sparse_ids(self):
+        g = nx.DiGraph([(10, 20)])
+        edges, n = edges_from_networkx(g)
+        assert n == 2
+        assert edges.tolist() == [[0, 1]]
+
+    def test_image_to_networkx_directed(self, edges):
+        image = build_directed(edges, 4)
+        g = image_to_networkx(image)
+        assert isinstance(g, nx.DiGraph)
+        assert g.number_of_nodes() == 4
+        assert sorted(g.edges()) == sorted(map(tuple, edges.tolist()))
+
+    def test_image_to_networkx_undirected(self):
+        image = build_undirected(np.array([[0, 1], [1, 2]]), 3)
+        g = image_to_networkx(image)
+        assert not g.is_directed()
+        assert g.number_of_edges() == 2
+
+    def test_full_roundtrip_through_image(self, edges):
+        image = build_directed(edges, 4)
+        g = image_to_networkx(image)
+        back, n = edges_from_networkx(g)
+        assert n == 4
+        assert sorted(map(tuple, back.tolist())) == sorted(map(tuple, edges.tolist()))

@@ -1,0 +1,93 @@
+"""Tests for graph statistics utilities — and through them, for the
+structural properties the dataset stand-ins must carry."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import build_directed
+from repro.graph.generators import erdos_renyi_graph, page_sim, twitter_sim
+from repro.graph.stats import (
+    DegreeStats,
+    degree_histogram,
+    degree_stats,
+    id_locality,
+)
+from repro.graph.types import EdgeType
+
+
+@pytest.fixture(scope="module")
+def skewed_image():
+    edges, n = twitter_sim(scale=12, seed=5)
+    return build_directed(edges, n, name="skew")
+
+
+@pytest.fixture(scope="module")
+def flat_image():
+    edges, n = erdos_renyi_graph(4096, 4096 * 16, seed=5)
+    return build_directed(edges, n, name="flat")
+
+
+class TestDegreeStats:
+    def test_basic_fields(self, skewed_image):
+        stats = degree_stats(skewed_image)
+        assert stats.mean > 0
+        assert stats.maximum >= stats.median
+        assert 0 <= stats.gini <= 1
+        assert 0 <= stats.top1pct_edge_share <= 1
+
+    def test_rmat_more_skewed_than_er(self, skewed_image, flat_image):
+        rmat = degree_stats(skewed_image)
+        er = degree_stats(flat_image)
+        assert rmat.gini > er.gini
+        assert rmat.top1pct_edge_share > er.top1pct_edge_share
+        assert rmat.maximum > er.maximum
+
+    def test_powerlaw_alpha_in_plausible_band(self, skewed_image):
+        stats = degree_stats(skewed_image)
+        assert stats.powerlaw_alpha is not None
+        # Natural graphs: alpha typically 1.5-3.5.
+        assert 1.2 < stats.powerlaw_alpha < 4.0
+
+    def test_in_direction(self, skewed_image):
+        stats = degree_stats(skewed_image, EdgeType.IN)
+        assert stats.mean == pytest.approx(degree_stats(skewed_image).mean)
+
+    def test_empty_graph_rejected(self):
+        image = build_directed(np.zeros((0, 2), dtype=np.int64), 0, name="none")
+        with pytest.raises(ValueError):
+            degree_stats(image)
+
+    def test_degenerate_alpha_none(self):
+        image = build_directed(np.array([[0, 1]]), 8, name="deg")
+        assert degree_stats(image).powerlaw_alpha is None
+
+
+class TestIdLocality:
+    def test_page_sim_has_high_locality(self):
+        edges, n = page_sim(num_vertices=1 << 13)
+        page = build_directed(edges, n, name="pg")
+        edges, n = twitter_sim(scale=12, seed=1)
+        twitter = build_directed(edges, n, name="tw")
+        assert id_locality(page, window=64) > 0.6
+        assert id_locality(page, window=64) > 2 * id_locality(twitter, window=64)
+
+    def test_window_monotone(self, skewed_image):
+        assert id_locality(skewed_image, 16) <= id_locality(skewed_image, 256)
+
+    def test_empty(self):
+        image = build_directed(np.zeros((0, 2), dtype=np.int64), 4, name="e")
+        assert id_locality(image) == 0.0
+
+    def test_invalid_window(self, skewed_image):
+        with pytest.raises(ValueError):
+            id_locality(skewed_image, 0)
+
+
+class TestDegreeHistogram:
+    def test_counts_sum_to_vertices(self, skewed_image):
+        values, counts = degree_histogram(skewed_image)
+        assert counts.sum() == skewed_image.num_vertices
+
+    def test_weighted_sum_is_edge_count(self, skewed_image):
+        values, counts = degree_histogram(skewed_image)
+        assert (values * counts).sum() == skewed_image.out_csr.num_edges

@@ -1,0 +1,153 @@
+"""Tests for graph transformations."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.builder import build_directed, build_undirected
+from repro.graph.transform import (
+    edge_array,
+    largest_wcc,
+    reverse,
+    subgraph,
+    to_undirected,
+)
+
+
+@pytest.fixture()
+def small():
+    edges = np.array([[0, 1], [1, 2], [2, 0], [3, 4]])
+    return build_directed(edges, 5, name="t")
+
+
+class TestEdgeArray:
+    def test_directed_roundtrip(self, small):
+        edges = edge_array(small)
+        assert sorted(map(tuple, edges.tolist())) == [
+            (0, 1), (1, 2), (2, 0), (3, 4),
+        ]
+
+    def test_undirected_each_edge_once(self):
+        image = build_undirected(np.array([[0, 1], [1, 2]]), 3)
+        edges = edge_array(image)
+        assert sorted(map(tuple, edges.tolist())) == [(0, 1), (1, 2)]
+
+    def test_rebuild_identical(self, small):
+        rebuilt = build_directed(edge_array(small), 5)
+        assert rebuilt.out_bytes == small.out_bytes
+
+
+class TestReverse:
+    def test_edges_flipped(self, small):
+        rev = reverse(small)
+        assert sorted(map(tuple, edge_array(rev).tolist())) == [
+            (0, 2), (1, 0), (2, 1), (4, 3),
+        ]
+
+    def test_double_reverse_is_identity(self, small):
+        assert reverse(reverse(small)).out_bytes == small.out_bytes
+
+    def test_in_out_swap(self, small):
+        rev = reverse(small)
+        assert np.array_equal(rev.in_csr.indptr, small.out_csr.indptr)
+
+    def test_undirected_rejected(self):
+        image = build_undirected(np.array([[0, 1]]), 2)
+        with pytest.raises(ValueError):
+            reverse(image)
+
+
+class TestToUndirected:
+    def test_projection(self, small):
+        und = to_undirected(small)
+        assert not und.directed
+        assert und.num_edges == 4
+        assert sorted(und.out_csr.neighbors(0).tolist()) == [1, 2]
+
+    def test_reciprocal_edges_collapse(self):
+        image = build_directed(np.array([[0, 1], [1, 0]]), 2)
+        und = to_undirected(image)
+        assert und.num_edges == 1
+
+    def test_already_undirected_passthrough(self):
+        image = build_undirected(np.array([[0, 1]]), 2)
+        assert to_undirected(image) is image
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self, small):
+        sub, ids = subgraph(small, np.array([0, 1, 2]))
+        assert ids.tolist() == [0, 1, 2]
+        assert sorted(map(tuple, edge_array(sub).tolist())) == [
+            (0, 1), (1, 2), (2, 0),
+        ]
+
+    def test_renumbering(self, small):
+        sub, ids = subgraph(small, np.array([3, 4]))
+        assert ids.tolist() == [3, 4]
+        assert edge_array(sub).tolist() == [[0, 1]]
+
+    def test_duplicates_collapse(self, small):
+        sub, ids = subgraph(small, np.array([1, 1, 0]))
+        assert ids.tolist() == [0, 1]
+
+    def test_out_of_range_rejected(self, small):
+        with pytest.raises(ValueError):
+            subgraph(small, np.array([99]))
+        with pytest.raises(ValueError):
+            subgraph(small, np.array([], dtype=np.int64))
+
+    def test_undirected_subgraph(self):
+        image = build_undirected(np.array([[0, 1], [1, 2], [3, 4]]), 5)
+        sub, ids = subgraph(image, np.array([0, 1, 2]))
+        assert not sub.directed
+        assert sub.num_edges == 2
+
+
+class TestLargestWCC:
+    def test_extracts_biggest_component(self, small):
+        sub, ids = largest_wcc(small)
+        assert sorted(ids.tolist()) == [0, 1, 2]
+        assert sub.num_vertices == 3
+
+    def test_matches_networkx(self, er_image, er_digraph):
+        sub, ids = largest_wcc(er_image)
+        biggest = max(nx.weakly_connected_components(er_digraph), key=len)
+        assert set(ids.tolist()) == biggest
+
+    def test_connected_graph_is_identity_sized(self):
+        image = build_directed(np.array([[0, 1], [1, 2], [2, 0]]), 3)
+        sub, ids = largest_wcc(image)
+        assert sub.num_vertices == 3
+
+
+class TestTransformProperties:
+    def test_subgraph_matches_networkx(self, er_image, er_digraph):
+        import networkx as nx
+
+        rng = np.random.default_rng(5)
+        chosen = rng.choice(er_image.num_vertices, size=40, replace=False)
+        sub, ids = subgraph(er_image, chosen)
+        expected = er_digraph.subgraph(ids.tolist())
+        got = {(int(ids[u]), int(ids[v])) for u, v in edge_array(sub)}
+        assert got == set(expected.edges())
+
+    def test_reverse_preserves_degree_multiset(self, er_image):
+        rev = reverse(er_image)
+        assert sorted(rev.out_csr.degrees().tolist()) == sorted(
+            er_image.in_csr.degrees().tolist()
+        )
+
+    def test_to_undirected_matches_networkx(self, er_image, er_ugraph):
+        und = to_undirected(er_image)
+        got = {tuple(sorted(e)) for e in edge_array(und).tolist()}
+        expected = {
+            tuple(sorted(e)) for e in er_ugraph.edges() if e[0] != e[1]
+        }
+        # er_ugraph was built without self-loops; the image keeps them.
+        loops = {
+            (v, v)
+            for v in range(er_image.num_vertices)
+            if v in er_image.out_csr.neighbors(v)
+        }
+        assert got == expected | loops

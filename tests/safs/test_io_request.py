@@ -1,0 +1,164 @@
+"""Unit and property tests for request merging (the §3.6 rules)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.safs.io_request import IORequest, merge_requests
+from repro.safs.page import SAFSFile
+
+PAGE = 4096
+
+
+@pytest.fixture()
+def big_file():
+    return SAFSFile("edges", bytes(PAGE * 64))
+
+
+def req(file, offset, length):
+    return IORequest(file, offset, length)
+
+
+class TestIORequest:
+    def test_page_span_single_page(self, big_file):
+        assert req(big_file, 0, 100).page_span(PAGE) == (0, 0)
+        assert req(big_file, PAGE - 1, 1).page_span(PAGE) == (0, 0)
+
+    def test_page_span_crossing(self, big_file):
+        assert req(big_file, PAGE - 1, 2).page_span(PAGE) == (0, 1)
+        assert req(big_file, 0, 3 * PAGE).page_span(PAGE) == (0, 2)
+
+    def test_invalid_requests_rejected(self, big_file):
+        with pytest.raises(ValueError):
+            IORequest(big_file, -1, 10)
+        with pytest.raises(ValueError):
+            IORequest(big_file, 0, 0)
+        with pytest.raises(ValueError):
+            IORequest(big_file, big_file.size - 1, 2)
+
+    def test_end(self, big_file):
+        assert req(big_file, 10, 5).end == 15
+
+
+class TestMergeRequests:
+    def test_empty(self):
+        assert merge_requests([], PAGE) == []
+
+    def test_same_page_merges(self, big_file):
+        merged = merge_requests([req(big_file, 0, 100), req(big_file, 200, 100)], PAGE)
+        assert len(merged) == 1
+        assert merged[0].num_pages == 1
+        assert len(merged[0].parts) == 2
+
+    def test_adjacent_pages_merge(self, big_file):
+        # The paper's Figure 6: v1+v2 on the same page merge, v6+v8 on
+        # adjacent pages merge.
+        merged = merge_requests(
+            [req(big_file, 0, 100), req(big_file, PAGE, 100)], PAGE
+        )
+        assert len(merged) == 1
+        assert (merged[0].first_page, merged[0].last_page) == (0, 1)
+
+    def test_gap_does_not_merge(self, big_file):
+        merged = merge_requests(
+            [req(big_file, 0, 100), req(big_file, 2 * PAGE, 100)], PAGE
+        )
+        assert len(merged) == 2
+
+    def test_unsorted_input_is_sorted(self, big_file):
+        merged = merge_requests(
+            [req(big_file, PAGE, 10), req(big_file, 0, 10)], PAGE
+        )
+        assert len(merged) == 1
+
+    def test_different_files_never_merge(self, big_file):
+        other = SAFSFile("other", bytes(PAGE * 4))
+        merged = merge_requests([req(big_file, 0, 10), req(other, 0, 10)], PAGE)
+        assert len(merged) == 2
+
+    def test_zero_gap_merges_only_same_page(self, big_file):
+        requests = [req(big_file, 0, 10), req(big_file, PAGE, 10)]
+        assert len(merge_requests(requests, PAGE, adjacency_gap=0)) == 2
+        requests = [req(big_file, 0, 10), req(big_file, 100, 10)]
+        assert len(merge_requests(requests, PAGE, adjacency_gap=0)) == 1
+
+    def test_window_limits_merging(self, big_file):
+        # Pages 0..3 in scrambled order: a global merger makes one span, a
+        # window of 2 sees (p3, p0) then (p2, p1) and cannot join them all.
+        requests = [
+            req(big_file, 3 * PAGE, 10),
+            req(big_file, 0, 10),
+            req(big_file, 2 * PAGE, 10),
+            req(big_file, PAGE, 10),
+        ]
+        assert len(merge_requests(requests, PAGE)) == 1
+        windowed = merge_requests(requests, PAGE, window=2)
+        assert len(windowed) > 1
+
+    def test_covers(self, big_file):
+        merged = merge_requests([req(big_file, 0, 2 * PAGE)], PAGE)[0]
+        assert merged.covers(req(big_file, 100, 10), PAGE)
+        assert not merged.covers(req(big_file, 3 * PAGE, 10), PAGE)
+
+    def test_invalid_arguments(self, big_file):
+        with pytest.raises(ValueError):
+            merge_requests([req(big_file, 0, 1)], 0)
+        with pytest.raises(ValueError):
+            merge_requests([req(big_file, 0, 1)], PAGE, adjacency_gap=-1)
+        with pytest.raises(ValueError):
+            merge_requests([req(big_file, 0, 1)], PAGE, window=0)
+
+
+@st.composite
+def request_lists(draw):
+    file = SAFSFile("prop", bytes(PAGE * 32))
+    n = draw(st.integers(min_value=1, max_value=40))
+    requests = []
+    for _ in range(n):
+        offset = draw(st.integers(min_value=0, max_value=file.size - 2))
+        length = draw(st.integers(min_value=1, max_value=min(3 * PAGE, file.size - offset)))
+        requests.append(IORequest(file, offset, length))
+    return file, requests
+
+
+class TestMergeProperties:
+    @given(request_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_every_request_appears_exactly_once(self, file_and_requests):
+        _, requests = file_and_requests
+        merged = merge_requests(requests, PAGE)
+        flattened = [part for m in merged for part in m.parts]
+        assert sorted(id(r) for r in flattened) == sorted(id(r) for r in requests)
+
+    @given(request_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_every_part_is_covered_by_its_span(self, file_and_requests):
+        _, requests = file_and_requests
+        for merged in merge_requests(requests, PAGE):
+            for part in merged.parts:
+                assert merged.covers(part, PAGE)
+
+    @given(request_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_conservative_no_uncovered_pages(self, file_and_requests):
+        # Conservative merging: every page of a merged span is touched by
+        # some constituent request or adjacent to one (gap of at most 1
+        # between consecutive constituent spans).
+        _, requests = file_and_requests
+        for merged in merge_requests(requests, PAGE):
+            covered = set()
+            for part in merged.parts:
+                first, last = part.page_span(PAGE)
+                covered.update(range(first, last + 1))
+            for page_no in range(merged.first_page, merged.last_page + 1):
+                assert page_no in covered or (page_no - 1) in covered
+
+    @given(request_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_merged_spans_never_overlap(self, file_and_requests):
+        _, requests = file_and_requests
+        spans = sorted(
+            (m.first_page, m.last_page) for m in merge_requests(requests, PAGE)
+        )
+        for (_, last), (nxt_first, _) in zip(spans, spans[1:]):
+            assert nxt_first > last + 1

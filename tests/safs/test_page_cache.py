@@ -1,0 +1,141 @@
+"""Unit and property tests for the set-associative page cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.safs.page import Page
+from repro.safs.page_cache import PageCache, PageCacheConfig
+from repro.sim.stats import StatsCollector
+
+
+def make_cache(capacity_pages=16, associativity=4, page_size=4096):
+    return PageCache(
+        PageCacheConfig(
+            capacity_bytes=capacity_pages * page_size,
+            page_size=page_size,
+            associativity=associativity,
+        )
+    )
+
+
+def page(file_id, page_no):
+    return Page(file_id, page_no, memoryview(bytes([page_no % 256])))
+
+
+class TestGeometry:
+    def test_capacity_pages(self):
+        cfg = PageCacheConfig(capacity_bytes=1 << 20, page_size=4096)
+        assert cfg.capacity_pages == 256
+
+    def test_tiny_cache_has_one_set(self):
+        cfg = PageCacheConfig(capacity_bytes=2 * 4096, page_size=4096, associativity=8)
+        assert cfg.num_sets == 1
+        assert cfg.set_capacity == 2
+
+    def test_cache_holds_at_least_one_page(self):
+        cfg = PageCacheConfig(capacity_bytes=1, page_size=4096)
+        assert cfg.capacity_pages == 1
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(0, 5) is None
+        cache.insert(page(0, 5))
+        got = cache.lookup(0, 5)
+        assert got is not None
+        assert got.key == (0, 5)
+
+    def test_contains_does_not_count_stats(self):
+        stats = StatsCollector()
+        cache = PageCache(PageCacheConfig(capacity_bytes=16 * 4096), stats)
+        cache.insert(page(0, 1))
+        assert cache.contains(0, 1)
+        assert not cache.contains(0, 2)
+        assert stats.get("cache.hits") == 0
+        assert stats.get("cache.misses") == 0
+
+    def test_distinct_files_are_distinct_pages(self):
+        cache = make_cache()
+        cache.insert(page(0, 5))
+        assert cache.lookup(1, 5) is None
+
+    def test_reinsert_refreshes_not_grows(self):
+        cache = make_cache()
+        cache.insert(page(0, 1))
+        cache.insert(page(0, 1))
+        assert len(cache) == 1
+
+    def test_eviction_is_lru_within_set(self):
+        # One set of capacity 2: inserting a third page evicts the LRU one.
+        cache = make_cache(capacity_pages=2, associativity=2)
+        cache.insert(page(0, 0))
+        cache.insert(page(0, 1))
+        cache.lookup(0, 0)  # refresh page 0
+        evicted = cache.insert(page(0, 2))
+        assert evicted == (0, 1)
+        assert cache.contains(0, 0)
+        assert not cache.contains(0, 1)
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        assert cache.hit_rate() == 0.0
+        cache.lookup(0, 1)
+        cache.insert(page(0, 1))
+        cache.lookup(0, 1)
+        assert cache.hit_rate() == 0.5
+
+    def test_clear(self):
+        cache = make_cache()
+        cache.insert(page(0, 1))
+        cache.clear()
+        assert len(cache) == 0
+        assert not cache.contains(0, 1)
+
+    def test_page_data_preserved(self):
+        cache = make_cache()
+        original = Page(0, 9, memoryview(b"payload"))
+        cache.insert(original)
+        got = cache.lookup(0, 9)
+        assert bytes(got.data) == b"payload"
+
+
+class TestProperties:
+    @given(
+        accesses=st.lists(st.integers(min_value=0, max_value=200), max_size=300),
+        capacity=st.integers(min_value=1, max_value=64),
+        assoc=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_capacity(self, accesses, capacity, assoc):
+        cache = make_cache(capacity_pages=capacity, associativity=assoc)
+        for page_no in accesses:
+            if cache.lookup(0, page_no) is None:
+                cache.insert(page(0, page_no))
+            assert len(cache) <= cache.config.capacity_pages
+
+    @given(accesses=st.lists(st.integers(min_value=0, max_value=50), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_equals_lookups(self, accesses):
+        stats = StatsCollector()
+        cache = PageCache(PageCacheConfig(capacity_bytes=8 * 4096), stats)
+        for page_no in accesses:
+            if cache.lookup(0, page_no) is None:
+                cache.insert(page(0, page_no))
+        total = stats.get("cache.hits") + stats.get("cache.misses")
+        assert total == len(accesses)
+
+    @given(accesses=st.lists(st.integers(min_value=0, max_value=30), max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_after_insert_without_eviction_hits(self, accesses):
+        # With capacity larger than the universe, nothing is ever evicted,
+        # so a second lookup of any inserted page must hit.
+        cache = make_cache(capacity_pages=64, associativity=64)
+        inserted = set()
+        for page_no in accesses:
+            if cache.lookup(0, page_no) is None:
+                assert page_no not in inserted
+                cache.insert(page(0, page_no))
+                inserted.add(page_no)
+            else:
+                assert page_no in inserted

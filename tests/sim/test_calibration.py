@@ -1,0 +1,64 @@
+"""The device model must measure out to its own spec."""
+
+import pytest
+
+from repro.sim.calibration import (
+    expected_envelope,
+    measured_envelope,
+    profile_random_reads,
+)
+from repro.sim.ssd_array import SSDArray, SSDArrayConfig
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_random_reads(requests_per_point=1000)
+
+
+class TestProfile:
+    def test_iops_decreases_with_request_size(self, profile):
+        iops = [p.iops for p in profile]
+        assert iops == sorted(iops, reverse=True)
+
+    def test_bandwidth_increases_with_request_size(self, profile):
+        bandwidth = [p.bandwidth for p in profile]
+        assert bandwidth == sorted(bandwidth)
+
+    def test_latency_grows_under_queueing(self, profile):
+        # Mean completion of a burst sits far above a single request's
+        # pipelined latency (80us): queueing dominates.
+        assert profile[0].mean_latency > 5e-4
+
+
+class TestEnvelope:
+    def test_measured_matches_configured_spec(self, profile):
+        measured = measured_envelope(profile)
+        expected = expected_envelope()
+        # ~900K IOPS aggregate for random 4KB reads (§5).
+        assert measured["random_4k_iops"] == pytest.approx(
+            expected["random_4k_iops"], rel=0.02
+        )
+        # Large merged requests approach aggregate sequential bandwidth.
+        assert measured["sequential_bandwidth"] >= 0.9 * expected[
+            "sequential_bandwidth"
+        ]
+        # The §3 ratio: sequential only 2-3x faster than random 4KB.
+        assert 1.9 <= measured["seq_to_random_ratio"] <= 3.0
+
+    def test_custom_array(self):
+        array = SSDArray(SSDArrayConfig(num_ssds=4))
+        points = profile_random_reads(array, request_pages_sweep=(1, 64),
+                                      requests_per_point=500)
+        measured = measured_envelope(points)
+        expected = expected_envelope(SSDArrayConfig(num_ssds=4))
+        assert measured["random_4k_iops"] == pytest.approx(
+            expected["random_4k_iops"], rel=0.05
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            profile_random_reads(requests_per_point=0)
+        with pytest.raises(ValueError):
+            profile_random_reads(request_pages_sweep=(0,))
+        with pytest.raises(ValueError):
+            measured_envelope([])

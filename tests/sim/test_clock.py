@@ -1,0 +1,93 @@
+"""Unit tests for the virtual clock and event queue."""
+
+import pytest
+
+from repro.sim.clock import EventQueue, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+
+    def test_advance_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_advance_zero_is_allowed(self):
+        clock = VirtualClock(3.0)
+        assert clock.advance(0.0) == 3.0
+
+    def test_advance_to_never_rewinds(self):
+        clock = VirtualClock(10.0)
+        assert clock.advance_to(5.0) == 10.0
+        assert clock.advance_to(12.0) == 12.0
+
+    def test_reset(self):
+        clock = VirtualClock(9.0)
+        clock.reset()
+        assert clock.now == 0.0
+        with pytest.raises(ValueError):
+            clock.reset(-2.0)
+
+    def test_repr_mentions_time(self):
+        assert "now=" in repr(VirtualClock(1.0))
+
+
+class TestEventQueue:
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop() for _ in range(3)] == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        q.push(1.0, "third")
+        assert [payload for _, payload in q.drain()] == ["first", "second", "third"]
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(4.0, "x")
+        q.push(2.0, "y")
+        assert q.peek_time() == 2.0
+        q.pop()
+        assert q.peek_time() == 4.0
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.push(0.0, "x")
+        assert q
+        assert len(q) == 1
+
+    def test_unorderable_payloads_do_not_break_ties(self):
+        q = EventQueue()
+        q.push(1.0, {"a": 1})
+        q.push(1.0, {"b": 2})
+        times = [t for t, _ in q.drain()]
+        assert times == [1.0, 1.0]

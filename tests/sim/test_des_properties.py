@@ -1,0 +1,94 @@
+"""Property tests on the discrete-event substrate's physical sanity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.ssd import SSD, SSDConfig
+from repro.sim.ssd_array import SSDArray, SSDArrayConfig
+
+
+class TestSSDPhysics:
+    @given(
+        arrivals=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_completions_monotone(self, arrivals):
+        # A FIFO device completes requests in submission order.
+        ssd = SSD()
+        completions = [ssd.submit(t, 1) for t in sorted(arrivals)]
+        assert completions == sorted(completions)
+
+    @given(
+        requests=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                st.integers(min_value=1, max_value=64),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_completion_never_before_arrival_plus_service(self, requests):
+        ssd = SSD()
+        for arrival, pages in sorted(requests):
+            done = ssd.submit(arrival, pages)
+            floor = arrival + ssd.service_time(pages) + ssd.config.read_latency
+            assert done >= floor - 1e-15
+
+    @given(
+        pages=st.integers(min_value=1, max_value=512),
+        extra=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_service_time_superadditive_in_pages(self, pages, extra):
+        # One merged request is never slower than two separate ones — the
+        # physical basis for conservative merging being safe.
+        ssd = SSD()
+        merged = ssd.service_time(pages + extra)
+        split = ssd.service_time(pages) + ssd.service_time(extra)
+        assert merged < split
+
+    @given(
+        later=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_busy_time_independent_of_gaps(self, later):
+        busy = []
+        for gap in (0.0, later):
+            ssd = SSD()
+            ssd.submit(0.0, 4)
+            ssd.submit(gap, 4)
+            busy.append(ssd.busy_time)
+        assert busy[0] == pytest.approx(busy[1])
+
+
+class TestArrayPhysics:
+    @given(
+        num_ssds=st.integers(min_value=1, max_value=16),
+        stripe=st.integers(min_value=1, max_value=32),
+        first=st.integers(min_value=0, max_value=1000),
+        pages=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_extent_preserves_pages(self, num_ssds, stripe, first, pages):
+        array = SSDArray(SSDArrayConfig(num_ssds=num_ssds, stripe_pages=stripe))
+        runs = array.split_extent(first, pages)
+        assert sum(count for _, count in runs) == pages
+        page = first
+        for device, count in runs:
+            assert device == array.device_for_page(page)
+            page += count
+
+    @given(pages=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_wider_array_never_slower(self, pages):
+        narrow = SSDArray(SSDArrayConfig(num_ssds=2, stripe_pages=4))
+        wide = SSDArray(SSDArrayConfig(num_ssds=8, stripe_pages=4))
+        assert wide.submit(0.0, 0, pages) <= narrow.submit(0.0, 0, pages) + 1e-12

@@ -1,0 +1,85 @@
+"""Tests for the NUMA topology model and its engine integration."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.wcc import wcc
+from repro.sim.numa import NumaTopology
+
+from tests.conftest import engine_for
+
+
+class TestTopology:
+    def test_paper_machine(self):
+        topo = NumaTopology(num_sockets=4, num_threads=32)
+        assert topo.socket_populations().tolist() == [8, 8, 8, 8]
+
+    def test_blocked_layout(self):
+        topo = NumaTopology(num_sockets=2, num_threads=8)
+        assert [topo.socket_of(w) for w in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_remote_detection(self):
+        topo = NumaTopology(num_sockets=2, num_threads=4)
+        assert not topo.is_remote(0, 1)
+        assert topo.is_remote(0, 2)
+
+    def test_remote_factor(self):
+        topo = NumaTopology(num_sockets=2, num_threads=4, remote_penalty=0.5)
+        assert topo.remote_factor(0, 1) == 1.0
+        assert topo.remote_factor(0, 3) == 1.5
+
+    def test_single_socket_never_remote(self):
+        topo = NumaTopology(num_sockets=1, num_threads=8)
+        assert not any(topo.is_remote(0, w) for w in range(8))
+
+    def test_more_threads_than_even_split(self):
+        topo = NumaTopology(num_sockets=3, num_threads=8)
+        assert topo.socket_populations().sum() == 8
+        assert topo.socket_of(7) <= 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            NumaTopology(num_sockets=0)
+        with pytest.raises(ValueError):
+            NumaTopology(num_threads=0)
+        with pytest.raises(ValueError):
+            NumaTopology(remote_penalty=-1)
+        with pytest.raises(ValueError):
+            NumaTopology(num_threads=4).socket_of(4)
+
+
+class TestEngineIntegration:
+    def test_single_socket_faster_on_message_heavy_workload(self, rmat_image):
+        # Cross-socket message delivery pays the QPI penalty: a (fictional)
+        # single-socket machine with the same cores runs WCC faster.
+        _, one = wcc(engine_for(rmat_image, num_threads=8, num_sockets=1))
+        _, four = wcc(engine_for(rmat_image, num_threads=8, num_sockets=4))
+        assert one.runtime < four.runtime
+
+    def test_results_identical_across_socket_counts(self, rmat_image):
+        a, _ = wcc(engine_for(rmat_image, num_threads=8, num_sockets=1))
+        b, _ = wcc(engine_for(rmat_image, num_threads=8, num_sockets=4))
+        assert np.array_equal(a, b)
+
+    def test_remote_steals_counted(self, rmat_image):
+        _, result = pagerank(
+            engine_for(
+                rmat_image,
+                num_threads=8,
+                num_sockets=4,
+                range_shift=9,  # skewed partitions force stealing
+                max_running_vertices=16,
+            ),
+            max_iterations=3,
+        )
+        assert result.counters.get("engine.stolen_vertices", 0) > 0
+        assert result.counters.get("numa.remote_steals", 0) > 0
+
+    def test_sockets_clamped_to_threads(self, rmat_image):
+        engine = engine_for(rmat_image, num_threads=2, num_sockets=8)
+        assert engine.numa.num_sockets == 2
+
+    def test_invalid_socket_config(self, rmat_image):
+        with pytest.raises(ValueError):
+            engine_for(rmat_image, num_sockets=0)

@@ -1,0 +1,74 @@
+"""Unit tests for the stats collector."""
+
+from repro.sim.stats import StatsCollector
+
+
+class TestStatsCollector:
+    def test_default_is_zero(self):
+        stats = StatsCollector()
+        assert stats.get("anything") == 0.0
+        assert stats.get("anything", 7.0) == 7.0
+
+    def test_add_accumulates(self):
+        stats = StatsCollector()
+        stats.add("io.requests")
+        stats.add("io.requests", 2)
+        assert stats.get("io.requests") == 3
+
+    def test_set_overwrites(self):
+        stats = StatsCollector()
+        stats.add("mem.peak", 10)
+        stats.set("mem.peak", 5)
+        assert stats.get("mem.peak") == 5
+
+    def test_max_keeps_largest(self):
+        stats = StatsCollector()
+        stats.max("mem.peak", 10)
+        stats.max("mem.peak", 3)
+        stats.max("mem.peak", 12)
+        assert stats.get("mem.peak") == 12
+
+    def test_names_sorted(self):
+        stats = StatsCollector()
+        stats.add("b")
+        stats.add("a")
+        assert list(stats.names()) == ["a", "b"]
+
+    def test_snapshot_is_a_copy(self):
+        stats = StatsCollector()
+        stats.add("x", 1)
+        snap = stats.snapshot()
+        stats.add("x", 1)
+        assert snap["x"] == 1
+        assert stats.get("x") == 2
+
+    def test_merge(self):
+        a = StatsCollector()
+        b = StatsCollector()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b.snapshot())
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_diff(self):
+        stats = StatsCollector()
+        stats.add("x", 1)
+        base = stats.snapshot()
+        stats.add("x", 4)
+        stats.add("y", 2)
+        delta = stats.diff(base)
+        assert delta == {"x": 4, "y": 2}
+
+    def test_diff_omits_unchanged(self):
+        stats = StatsCollector()
+        stats.add("x", 1)
+        assert stats.diff(stats.snapshot()) == {}
+
+    def test_reset_and_contains(self):
+        stats = StatsCollector()
+        stats.add("x")
+        assert "x" in stats
+        stats.reset()
+        assert "x" not in stats

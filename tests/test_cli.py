@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.graph.io_edge_list import load_edges_npz, save_edges_text
+
+
+class TestGenerate:
+    def test_writes_npz(self, tmp_path, capsys):
+        out = tmp_path / "tw.npz"
+        rc = cli.main(["generate", "--dataset", "twitter-sim", "--out", str(out)])
+        assert rc == 0
+        edges, num_vertices = load_edges_npz(out)
+        assert num_vertices == 8192
+        assert edges.shape[1] == 2
+        assert "twitter-sim" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["generate", "--dataset", "nope", "--out", "x.npz"])
+
+
+class TestRun:
+    def test_run_on_edge_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        rng = np.random.default_rng(0)
+        edges = rng.integers(0, 64, size=(256, 2))
+        save_edges_text(path, edges, 64)
+        rc = cli.main(
+            [
+                "run",
+                "--algorithm",
+                "bfs",
+                "--edges",
+                str(path),
+                "--threads",
+                "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "runtime_s" in out
+        assert "bfs" in out
+
+    def test_run_in_memory_mode(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        rng = np.random.default_rng(1)
+        save_edges_text(path, rng.integers(0, 32, size=(128, 2)), 32)
+        rc = cli.main(
+            [
+                "run",
+                "--algorithm",
+                "wcc",
+                "--edges",
+                str(path),
+                "--mode",
+                "in-memory",
+                "--threads",
+                "2",
+            ]
+        )
+        assert rc == 0
+        assert "in-memory" in capsys.readouterr().out
+
+    def test_run_with_trace(self, tmp_path, capsys):
+        graph = tmp_path / "g.txt"
+        trace = tmp_path / "trace.csv"
+        rng = np.random.default_rng(2)
+        save_edges_text(graph, rng.integers(0, 32, size=(128, 2)), 32)
+        rc = cli.main(
+            [
+                "run",
+                "--algorithm",
+                "bfs",
+                "--edges",
+                str(graph),
+                "--threads",
+                "2",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert rc == 0
+        assert trace.exists()
+        assert trace.read_text().startswith("iteration,")
+
+    def test_run_without_input_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["run", "--algorithm", "bfs"])
+
+
+class TestBench:
+    def test_table1(self, capsys):
+        rc = cli.main(["bench", "--experiment", "table1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "twitter-sim" in out
+        assert "page-sim" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["bench", "--experiment", "fig99"])
