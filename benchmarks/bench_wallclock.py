@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark harness for the simulator itself.
+
+Every other benchmark in this directory reports *simulated* seconds; this
+one records how long the simulator takes in *real* wall-clock time.  The
+vectorized hot paths (batched vertex execution, array-based I/O merging,
+bulk page-cache operations) change only wall-clock cost — simulated
+counters must stay bit-identical — so this harness is where the perf
+trajectory is tracked, suite by suite, in ``BENCH_wallclock.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py                 # run + print full suite
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --record after  # run + store under "after"
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --record smoke  # store the smoke baseline
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke         # CI: fail on >2x regression
+
+``--smoke`` runs the short suite and exits non-zero when any suite is more
+than ``--tolerance`` (default 2.0) times slower than the committed
+baseline's ``smoke`` section — loose enough for shared CI runners, tight
+enough to catch an accidental return to per-vertex Python loops.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.datasets import load_dataset, scaled_cache_bytes
+from repro.bench.harness import make_engine, run_algorithm
+from repro.core.config import ExecutionMode
+from repro.safs.page import SAFSFile
+
+RESULTS_FILE = Path(__file__).resolve().parent.parent / "BENCH_wallclock.json"
+
+#: (suite name, graph, app, mode).  The SEM suites exercise the full
+#: request/merge/cache/delivery stack; the MEM suites isolate the engine.
+FULL_SUITES = (
+    ("pr@twitter-sim@sem", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL),
+    ("wcc@twitter-sim@sem", "twitter-sim", "wcc", ExecutionMode.SEMI_EXTERNAL),
+    ("bfs@twitter-sim@sem", "twitter-sim", "bfs", ExecutionMode.SEMI_EXTERNAL),
+    ("pr@twitter-sim@mem", "twitter-sim", "pr", ExecutionMode.IN_MEMORY),
+    ("wcc@twitter-sim@mem", "twitter-sim", "wcc", ExecutionMode.IN_MEMORY),
+)
+
+SMOKE_SUITES = (
+    ("pr@twitter-sim@sem", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL),
+    ("wcc@twitter-sim@sem", "twitter-sim", "wcc", ExecutionMode.SEMI_EXTERNAL),
+)
+
+
+def run_suite(graph: str, app: str, mode: ExecutionMode, repeats: int = 1) -> dict:
+    """Run one (graph, app, mode) suite; wall_s is the best of ``repeats``.
+
+    ``SAFSFile._next_id`` is pinned before each run so page-cache set
+    hashing (which keys on file_id) is reproducible no matter what ran
+    earlier in the process.
+    """
+    image = load_dataset(graph)
+    cache = scaled_cache_bytes(1.0)
+    best = None
+    result = None
+    for _ in range(repeats):
+        SAFSFile._next_id = 0
+        engine = make_engine(image, mode=mode, cache_bytes=cache)
+        start = time.perf_counter()
+        result = run_algorithm(engine, app)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "wall_s": best,
+        "sim_runtime_s": result.runtime,
+        "bytes_read": result.bytes_read,
+        "cache_hit_rate": result.cache_hit_rate,
+        "iterations": result.iterations,
+    }
+
+
+def run_suites(suites, repeats: int = 1) -> dict:
+    rows = {}
+    for name, graph, app, mode in suites:
+        rows[name] = run_suite(graph, app, mode, repeats=repeats)
+        print(
+            f"{name:24s} wall={rows[name]['wall_s']:8.3f}s  "
+            f"sim={rows[name]['sim_runtime_s']:.6f}s  "
+            f"iters={rows[name]['iterations']}"
+        )
+    return rows
+
+
+def record(section: str, rows: dict) -> None:
+    data = json.loads(RESULTS_FILE.read_text()) if RESULTS_FILE.exists() else {}
+    data[section] = rows
+    before, after = data.get("before"), data.get("after")
+    if before and after:
+        data["speedup"] = {
+            name: round(before[name]["wall_s"] / after[name]["wall_s"], 2)
+            for name in after
+            if name in before and after[name]["wall_s"] > 0
+        }
+    RESULTS_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"recorded {len(rows)} suites under {section!r} in {RESULTS_FILE.name}")
+
+
+def smoke_check(tolerance: float) -> int:
+    if not RESULTS_FILE.exists():
+        print(f"no {RESULTS_FILE.name}; run --record smoke first", file=sys.stderr)
+        return 2
+    baseline = json.loads(RESULTS_FILE.read_text()).get("smoke")
+    if not baseline:
+        print(f"{RESULTS_FILE.name} has no 'smoke' section", file=sys.stderr)
+        return 2
+    rows = run_suites(SMOKE_SUITES)
+    failed = False
+    for name, row in rows.items():
+        ref = baseline.get(name)
+        if ref is None:
+            print(f"SKIP {name}: no baseline entry")
+            continue
+        ratio = row["wall_s"] / ref["wall_s"]
+        verdict = "ok" if ratio <= tolerance else "REGRESSION"
+        print(f"{name:24s} {row['wall_s']:.3f}s vs baseline {ref['wall_s']:.3f}s "
+              f"({ratio:.2f}x) {verdict}")
+        if ratio > tolerance:
+            failed = True
+        # The simulated counters are part of the contract: the fast paths
+        # may only change wall-clock, never results.
+        for key in ("sim_runtime_s", "bytes_read", "cache_hit_rate", "iterations"):
+            if row[key] != ref[key]:
+                print(f"COUNTER DRIFT {name}.{key}: {row[key]!r} != baseline "
+                      f"{ref[key]!r}", file=sys.stderr)
+                failed = True
+    return 1 if failed else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short suite; compare against the committed baseline")
+    parser.add_argument("--record", metavar="SECTION",
+                        help="store results under this section of BENCH_wallclock.json "
+                             "(before / after / smoke)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="repeats per suite; wall_s is the minimum (default 2)")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="--smoke failure threshold vs baseline (default 2.0)")
+    args = parser.parse_args()
+
+    if args.smoke:
+        return smoke_check(args.tolerance)
+    suites = SMOKE_SUITES if args.record == "smoke" else FULL_SUITES
+    rows = run_suites(suites, repeats=args.repeats)
+    if args.record:
+        record(args.record, rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

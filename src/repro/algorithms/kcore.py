@@ -49,6 +49,28 @@ class KCoreProgram(VertexProgram):
             self.remaining[vertex] -= int(round(value))
             g.activate(np.asarray([vertex]))
 
+    # -- batched fast path (observationally identical to the scalar
+    # methods above) ----------------------------------------------------
+
+    def run_batch(self, g: GraphContext, vertices: np.ndarray) -> None:
+        peeled = vertices[self.alive[vertices] & (self.remaining[vertices] < self.k)]
+        self.alive[peeled] = False
+        g.request_self_batch(peeled, EdgeType.OUT)
+
+    def run_on_vertices(self, g: GraphContext, batch) -> None:
+        g.send_message_batch(
+            batch.read_edges_concat(),
+            np.ones(batch.total_edges),
+            batch.degrees,
+        )
+
+    def run_on_messages(self, g: GraphContext, dests: np.ndarray, values: np.ndarray) -> np.ndarray:
+        alive = self.alive[dests]
+        # Message sums are exact small integers; rint matches the scalar
+        # banker's ``round``.
+        self.remaining[dests[alive]] -= np.rint(values[alive]).astype(np.int64)
+        return alive
+
     @property
     def core_size(self) -> int:
         """Vertices surviving in the k-core."""

@@ -71,6 +71,34 @@ class PageRankProgram(VertexProgram):
         self.pending[vertex] += value
         g.activate(np.asarray([vertex]))
 
+    # -- batched fast path (observationally identical to the scalar
+    # methods above; the engine replays all per-vertex charges) ---------
+
+    def run_batch(self, g: GraphContext, vertices: np.ndarray) -> None:
+        delta = self.pending[vertices]
+        live = delta != 0.0
+        active = vertices[live]
+        delta = delta[live]
+        self.pending[active] = 0.0
+        self.rank[active] += delta
+        out_degree = g.degrees_of(active, EdgeType.OUT)
+        push = self.damping * delta
+        sending = (out_degree != 0) & (push > self.tolerance)
+        pushers = active[sending]
+        self._sending[pushers] = push[sending] / out_degree[sending]
+        g.request_self_batch(pushers, EdgeType.OUT)
+
+    def run_on_vertices(self, g: GraphContext, batch) -> None:
+        g.send_message_batch(
+            batch.read_edges_concat(),
+            batch.repeat(self._sending[batch.vertices]),
+            batch.degrees,
+        )
+
+    def run_on_messages(self, g: GraphContext, dests: np.ndarray, values: np.ndarray) -> np.ndarray:
+        self.pending[dests] += values
+        return np.ones(dests.size, dtype=bool)
+
 
 def pagerank(
     engine: GraphEngine,

@@ -21,8 +21,9 @@ The scheduling loop always advances the worker with the smallest virtual
 clock, so device-queue contention between threads is simulated fairly.
 """
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,10 +34,11 @@ from repro.core.partition import HashPartitioner, RangePartitioner, split_into_p
 from repro.core.scheduler import make_scheduler
 from repro.core.vertex_program import GraphContext, VertexProgram
 from repro.graph.builder import GraphImage
-from repro.graph.page_vertex import PageVertex
+from repro.graph.format import EDGE_BYTES, HEADER_BYTES
+from repro.graph.page_vertex import PageVertex, PageVertexBatch, gather_ranges, scatter_positions
 from repro.graph.types import EdgeType
 from repro.safs.filesystem import SAFS
-from repro.safs.io_request import IORequest, merge_requests
+from repro.safs.io_request import IORequest, merge_request_arrays, merge_requests
 from repro.safs.user_task import UserTask
 from repro.sim.cost_model import DEFAULT_COST_MODEL, CostModel
 from repro.sim.numa import NumaTopology
@@ -154,8 +156,19 @@ class GraphEngine:
         self._workers: List[_Worker] = []
         self._current: Optional[_Worker] = None
         self._pending_requests: List[Tuple[int, np.ndarray, EdgeType, bool]] = []
-        self._part_queue: List[Tuple[int, np.ndarray, EdgeType, bool]] = []
+        # Self-request waves buffered by ``run_batch`` programs; serviced
+        # by the vectorized fast path (or expanded to per-vertex entries
+        # when the fast path's preconditions do not hold).
+        self._pending_batches: List[Tuple[np.ndarray, EdgeType]] = []
+        self._part_queue: Deque[Tuple[int, np.ndarray, EdgeType, bool]] = deque()
         self._attr_waiting: set = set()
+        # Per-delivery message counts reported by the last
+        # ``send_message_batch`` call (the engine replays the per-list
+        # send charges from these).
+        self._batch_msg_counts: Optional[np.ndarray] = None
+        # file_id -> the file's bytes viewed as little-endian u32 words
+        # (zero-copy edge gathering in the semi-external fast path).
+        self._file_words: Dict[int, np.ndarray] = {}
         self._activations: List[np.ndarray] = []
         self._messages: Optional[MessageBuffer] = None
         self._iteration_end_requested = False
@@ -245,7 +258,7 @@ class GraphEngine:
             if worker.remaining:
                 self._process_batch(worker, worker.take(batch_size), stolen=False)
             elif self._part_queue:
-                requester, targets, direction, with_attrs = self._part_queue.pop(0)
+                requester, targets, direction, with_attrs = self._part_queue.popleft()
                 self._process_part(worker, requester, targets, direction, with_attrs)
             else:
                 victim = max(self._workers, key=lambda w: w.remaining)
@@ -306,9 +319,24 @@ class GraphEngine:
             )
             steal_cost = cm.cpu_steal_penalty * factor
         run_cost = cm.cpu_per_vertex_run + steal_cost
-        for vertex in batch:
-            self._charge(run_cost)
-            self.program.run(self._ctx, int(vertex))
+        run_batch = self.program.run_batch
+        if run_batch is not None:
+            # The scalar path charges run_cost per vertex before each
+            # ``run`` call; the batch program performs no charged context
+            # calls inside ``run_batch``, so replaying the same sequence
+            # of float adds up front keeps the clocks bit-identical.
+            t = worker.time
+            b = worker.busy
+            for _ in range(batch.size):
+                t += run_cost
+                b += run_cost
+            worker.time = t
+            worker.busy = b
+            run_batch(self._ctx, batch)
+        else:
+            for vertex in batch:
+                self._charge(run_cost)
+                self.program.run(self._ctx, int(vertex))
         self._service_request_waves(worker)
 
     def _process_part(
@@ -325,13 +353,52 @@ class GraphEngine:
         self._service_request_waves(worker)
 
     def _service_request_waves(self, worker: _Worker) -> None:
-        while self._pending_requests:
+        while self._pending_requests or self._pending_batches:
+            if self._pending_batches:
+                batches = self._pending_batches
+                self._pending_batches = []
+                for vertices, edge_type in batches:
+                    self._service_batch_entry(worker, vertices, edge_type)
+            if not self._pending_requests:
+                continue
             wave = self._pending_requests
             self._pending_requests = []
             if self.config.mode is ExecutionMode.IN_MEMORY:
                 self._service_in_memory(worker, wave)
             else:
                 self._service_semi_external(worker, wave)
+
+    def _service_batch_entry(
+        self, worker: _Worker, vertices: np.ndarray, edge_type: EdgeType
+    ) -> None:
+        """Route one batched self-request wave.
+
+        The vectorized fast path requires a ``run_on_vertices`` hook and,
+        in semi-external mode, engine-level merging (the global stable
+        sort is what makes the array merge order-equivalent to the
+        per-request path; the bounded-window disciplines are served by
+        expansion instead).
+        """
+        if vertices.size == 0:
+            return
+        if self.program.run_on_vertices is None:
+            self._expand_batch_entries(vertices, edge_type)
+        elif self.config.mode is ExecutionMode.IN_MEMORY:
+            self._service_in_memory_batch(worker, vertices, edge_type)
+        elif self.config.merge_in_engine:
+            self._service_semi_external_batch(worker, vertices, edge_type)
+        else:
+            self._expand_batch_entries(vertices, edge_type)
+
+    def _expand_batch_entries(self, vertices: np.ndarray, edge_type: EdgeType) -> None:
+        """Fall back to the per-vertex path: emit exactly the wave entries
+        per-vertex ``request_self`` calls would have buffered, including
+        the per-vertex direction interleaving of ``BOTH`` requests."""
+        directions = edge_type.directions()
+        for v in vertices.tolist():
+            targets = np.asarray([v], dtype=np.int64)
+            for direction in directions:
+                self._buffer_request(int(v), targets, direction, False)
 
     def _service_in_memory(self, worker: _Worker, wave) -> None:
         for requester, targets, direction, with_attrs in wave:
@@ -388,6 +455,172 @@ class GraphEngine:
                 view = PageVertex(done.data, direction)
                 self._deliver_edge_list(worker, requester, view)
 
+    def _service_in_memory_batch(
+        self, worker: _Worker, vertices: np.ndarray, edge_type: EdgeType
+    ) -> None:
+        """Vectorized in-memory service of one batched self-request wave.
+
+        Delivery order matches the per-vertex path: per requesting vertex,
+        one list per direction in ``directions()`` order.
+        """
+        directions = edge_type.directions()
+        nd = len(directions)
+        num_lists = vertices.size * nd
+        verts = np.repeat(vertices, nd)
+        degrees = np.empty(num_lists, dtype=np.int64)
+        starts_by_dir: List[np.ndarray] = []
+        indices_by_dir: List[np.ndarray] = []
+        for di, direction in enumerate(directions):
+            csr = self.image.csr(direction)
+            starts = csr.indptr[vertices]
+            degrees[di::nd] = csr.indptr[vertices + 1] - starts
+            starts_by_dir.append(starts)
+            indices_by_dir.append(csr.indices)
+        total_edges = int(degrees.sum())
+        flat_starts = np.zeros(num_lists, dtype=np.int64)
+        np.cumsum(degrees[:-1], out=flat_starts[1:])
+        edges = np.empty(total_edges, dtype=np.uint32)
+        for di in range(nd):
+            lane = slice(di, None, nd)
+            lane_degrees = degrees[lane]
+            positions = scatter_positions(flat_starts[lane], lane_degrees)
+            edges[positions] = gather_ranges(
+                indices_by_dir[di], starts_by_dir[di], lane_degrees
+            )
+        batch = PageVertexBatch(verts, degrees, edges)
+        self._deliver_batch(worker, batch, None, self.cost_model.cpu_per_edge_mem)
+
+    def _service_semi_external_batch(
+        self, worker: _Worker, vertices: np.ndarray, edge_type: EdgeType
+    ) -> None:
+        """Vectorized SAFS service of one batched self-request wave.
+
+        Mirrors ``_service_semi_external`` with engine merging: the
+        request elements are laid out in the exact order the per-vertex
+        path would build its request list (per vertex, one element per
+        direction), array-merged, issued span by span, and delivered in
+        completion order with every per-list charge replayed.
+        """
+        cm = self.cost_model
+        directions = edge_type.directions()
+        nd = len(directions)
+        num_elems = vertices.size * nd
+        file_ids = np.empty(num_elems, dtype=np.int64)
+        offsets = np.empty(num_elems, dtype=np.int64)
+        sizes = np.empty(num_elems, dtype=np.int64)
+        dir_code = np.empty(num_elems, dtype=np.int64)
+        files: Dict[int, "SAFSFile"] = {}
+        dir_files: List = []
+        for di, direction in enumerate(directions):
+            file = self.safs.open_file(self.image.file_name(direction))
+            files[file.file_id] = file
+            dir_files.append(file)
+            offs, szs = self.image.index(direction).locate_many(vertices)
+            lane = slice(di, None, nd)
+            file_ids[lane] = file.file_id
+            offsets[lane] = offs
+            sizes[lane] = szs
+            dir_code[lane] = di
+        elem_vertex = np.repeat(vertices, nd)
+
+        spans = merge_request_arrays(file_ids, offsets, sizes, self.safs.page_size)
+        span_done, cpu = self.safs.submit_spans(spans, files, worker.time)
+        self._charge(cpu)
+        self.stats.add("engine.io_requests", num_elems)
+
+        # Stable completion-time sort of the constituent elements — the
+        # array form of ``completions.sort`` over the per-part tasks.
+        part_done = span_done[spans.span_of_part]
+        by_completion = np.argsort(part_done, kind="stable")
+        deliver = spans.order[by_completion]
+        times = part_done[by_completion]
+
+        degrees = (sizes[deliver] - HEADER_BYTES) // EDGE_BYTES
+        codes = dir_code[deliver]
+        elem_offsets = offsets[deliver]
+        total_edges = int(degrees.sum())
+        flat_starts = np.zeros(num_elems, dtype=np.int64)
+        np.cumsum(degrees[:-1], out=flat_starts[1:])
+        edges = np.empty(total_edges, dtype=np.uint32)
+        for di in range(nd):
+            mask = codes == di
+            if not np.any(mask):
+                continue
+            words = self._words_of(dir_files[di])
+            word_starts = elem_offsets[mask] // 4 + HEADER_BYTES // 4
+            lane_degrees = degrees[mask]
+            positions = scatter_positions(flat_starts[mask], lane_degrees)
+            edges[positions] = gather_ranges(words, word_starts, lane_degrees)
+        batch = PageVertexBatch(elem_vertex[deliver], degrees, edges)
+        self._deliver_batch(worker, batch, times, cm.cpu_per_edge_sem)
+
+    def _deliver_batch(
+        self,
+        worker: _Worker,
+        batch: PageVertexBatch,
+        times: Optional[np.ndarray],
+        edge_rate: float,
+    ) -> None:
+        """Run ``run_on_vertices`` once, then replay the per-list clock
+        updates of the scalar delivery loop: the wait clamp to each list's
+        completion time, the send charge its messages would have incurred,
+        and the ``run_on_vertex`` charge — same values, same order, so
+        worker clocks land on identical bits."""
+        num_lists = batch.num_lists
+        if num_lists == 0:
+            return
+        cm = self.cost_model
+        self._batch_msg_counts = None
+        self.program.run_on_vertices(self._ctx, batch)
+        counts = self._batch_msg_counts
+        self._batch_msg_counts = None
+        if counts is None:
+            count_list = [0] * num_lists
+        else:
+            if counts.size != num_lists:
+                raise ValueError(
+                    "send_message_batch counts must have one entry per "
+                    f"delivered list ({counts.size} != {num_lists})"
+                )
+            count_list = counts.tolist()
+        degree_list = batch.degrees.tolist()
+        time_list = times.tolist() if times is not None else None
+        rate = cm.cpu_per_multicast_recipient
+        base = cm.cpu_per_vertex_run
+        send_charges: Dict[int, float] = {}
+        run_charges: Dict[int, float] = {}
+        t = worker.time
+        b = worker.busy
+        for i in range(num_lists):
+            if time_list is not None:
+                done = time_list[i]
+                if done > t:
+                    t = done
+            count = count_list[i]
+            charge = send_charges.get(count)
+            if charge is None:
+                charge = count * rate
+                send_charges[count] = charge
+            t += charge
+            b += charge
+            degree = degree_list[i]
+            charge = run_charges.get(degree)
+            if charge is None:
+                charge = base + degree * edge_rate
+                run_charges[degree] = charge
+            t += charge
+            b += charge
+        worker.time = t
+        worker.busy = b
+        self.stats.add("engine.edges_delivered", batch.total_edges)
+
+    def _words_of(self, file) -> np.ndarray:
+        words = self._file_words.get(file.file_id)
+        if words is None:
+            words = np.frombuffer(file.read(0, file.size), dtype="<u4")
+            self._file_words[file.file_id] = words
+        return words
+
     def _attr_requests(
         self, requester: int, targets: np.ndarray, direction: EdgeType
     ) -> List[IORequest]:
@@ -431,6 +664,12 @@ class GraphEngine:
             return
         cm = self.cost_model
         parts = self.partitioner.partition_many(dests)
+        # The batched receive hook needs unique destinations to update
+        # state with one vectorized scatter; only combiner programs
+        # guarantee that.
+        run_on_messages = (
+            self.program.run_on_messages if self.program.combiner is not None else None
+        )
         for p in np.unique(parts):
             worker = self._workers[int(p)]
             self._current = worker
@@ -447,6 +686,11 @@ class GraphEngine:
                 * self.numa.remote_penalty
                 * remote_share
             )
+            if run_on_messages is not None:
+                self._deliver_messages_batch(
+                    worker, dests[mask], values[mask], counts[mask], per_message
+                )
+                continue
             for dest, value, count in zip(dests[mask], values[mask], counts[mask]):
                 # Receive cost is per *logical* message: the combiner saves
                 # buffer space, not the per-message processing (§3.4.1).
@@ -457,6 +701,48 @@ class GraphEngine:
             "numa.remote_message_share",
             0.0 if self.numa.num_sockets == 1 else counts.sum() * (1.0 - 1.0 / self.numa.num_sockets),
         )
+
+    def _deliver_messages_batch(
+        self,
+        worker: _Worker,
+        dests: np.ndarray,
+        values: np.ndarray,
+        counts: np.ndarray,
+        per_message: float,
+    ) -> None:
+        """One partition's message round through ``run_on_messages``.
+
+        The hook updates state vectorized and returns the activation mask;
+        the engine then replays, per destination, the receive charge and —
+        when that destination activated — the scalar path's activation
+        charge, in the same interleaved order ``run_on_message`` +
+        ``g.activate`` would have produced."""
+        act = np.asarray(
+            self.program.run_on_messages(self._ctx, dests, values), dtype=bool
+        )
+        if act.shape != dests.shape:
+            raise ValueError("run_on_messages must return one flag per destination")
+        activated = dests[act]
+        if activated.size:
+            self._activations.append(activated)
+            self.stats.add("msg.activations", activated.size)
+        rate = self.cost_model.cpu_per_multicast_recipient
+        charges: Dict[int, float] = {}
+        act_list = act.tolist()
+        t = worker.time
+        b = worker.busy
+        for i, count in enumerate(counts.tolist()):
+            charge = charges.get(count)
+            if charge is None:
+                charge = count * per_message
+                charges[count] = charge
+            t += charge
+            b += charge
+            if act_list[i]:
+                t += rate
+                b += rate
+        worker.time = t
+        worker.busy = b
 
     def _drain_activations(self) -> np.ndarray:
         if not self._activations:
@@ -488,6 +774,32 @@ class GraphEngine:
                 )
         else:
             self._pending_requests.append((requester, targets, direction, with_attrs))
+
+    def _buffer_batch_request(self, vertices: np.ndarray, edge_type: EdgeType) -> None:
+        """Buffer a whole wave of self-requests from ``run_batch``.
+
+        Kept as one array entry so the service layer can merge and locate
+        the wave vectorized; semantically the wave equals per-vertex
+        ``request_self`` calls in ``vertices`` order (which is what
+        ``_expand_batch_entries`` reconstructs when the fast path cannot
+        run)."""
+        self._pending_batches.append((vertices, edge_type))
+
+    def _buffer_message_batch(
+        self, dests: np.ndarray, values: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Buffer one delivered wave's messages in a single chunk.
+
+        ``counts[i]`` is the number of messages list ``i`` sent; the
+        engine replays the per-list send charges from it, so no CPU is
+        charged here.  Buffer content at the barrier is identical to the
+        per-list ``send_message`` calls (chunk granularity never changes
+        the concatenation)."""
+        counts = np.asarray(counts, dtype=np.int64)
+        self._batch_msg_counts = counts
+        total = self._messages.send(dests, values)
+        if total:
+            self.stats.add("msg.sent", total)
 
     def _buffer_activation(self, vertices: np.ndarray) -> None:
         self._activations.append(vertices)

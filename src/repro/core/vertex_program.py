@@ -17,6 +17,15 @@ paper's:
   for inactive vertices.
 - ``run_on_iteration_end(g)`` — fires at the iteration barrier when the
   program asked for the notification (``g.notify_iteration_end()``).
+
+Data-parallel algorithms may additionally implement the **batched fast
+path** (``run_batch`` / ``run_on_vertices`` / ``run_on_messages``): the
+engine then hands whole scheduler batches, delivered waves and message
+rounds to the program as numpy arrays instead of making one Python call
+per vertex.  The fast path is a wall-clock optimisation only — the engine
+replays every per-vertex CPU charge in the original order, so simulated
+results are bit-identical to the per-vertex path (see
+``docs/architecture.md``, "Hot paths and vectorization invariants").
 """
 
 from typing import Optional
@@ -38,6 +47,18 @@ class VertexProgram:
     #: Per-vertex algorithmic state footprint, for memory accounting
     #: (BFS needs 1 byte; most algorithms stay under 8).
     state_bytes_per_vertex: int = 8
+
+    #: Batched fast-path hooks; ``None`` keeps the per-vertex path.  A
+    #: program overriding one of these promises the vectorized form is
+    #: observationally identical to its scalar twin, and that the scalar
+    #: twin performs no *charged* context call the batch form hides
+    #: (``run_batch`` may request I/O, which is free; ``run_on_vertices``
+    #: must route messages through ``g.send_message_batch`` so the engine
+    #: can replay per-list charges; ``run_on_messages`` must return the
+    #: activation mask instead of calling ``g.activate``).
+    run_batch = None  # run_batch(g, vertices: int64 array)
+    run_on_vertices = None  # run_on_vertices(g, batch: PageVertexBatch)
+    run_on_messages = None  # run_on_messages(g, dests, values) -> activation mask
 
     def run(self, g: "GraphContext", vertex: int) -> None:
         """Called once per iteration on each active vertex."""
@@ -113,6 +134,17 @@ class GraphContext:
         """Shorthand for requesting the vertex's own edge list(s)."""
         self.request_vertices(vertex, np.asarray([vertex]), edge_type)
 
+    def request_self_batch(self, vertices, edge_type: Optional[EdgeType] = None) -> None:
+        """Batched :meth:`request_self`: every vertex of ``vertices``
+        requests its own edge list(s).  The whole wave is located with one
+        vectorized index lookup and merged as arrays (``run_batch`` fast
+        path); semantics match per-vertex ``request_self`` calls in order.
+        """
+        edge_type = edge_type or self._program_edge_type()
+        vertices = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        if vertices.size:
+            self._engine._buffer_batch_request(vertices, edge_type)
+
     # -- communication ---------------------------------------------------
 
     def activate(self, vertices) -> None:
@@ -124,6 +156,17 @@ class GraphContext:
         """Send ``values`` to ``dests`` (scalar value = multicast)."""
         dests = np.atleast_1d(np.asarray(dests, dtype=np.int64))
         self._engine._buffer_message(dests, values)
+
+    def send_message_batch(self, dests, values, counts) -> None:
+        """Send one delivered wave's messages in a single call.
+
+        Only valid inside ``run_on_vertices``: ``dests``/``values`` hold
+        every message of the wave concatenated in delivery order, and
+        ``counts[i]`` is the number of messages list ``i`` contributed
+        (zero for lists that send nothing).  The engine replays the
+        per-list send charges from ``counts``, so the worker clocks match
+        per-list ``send_message`` calls bit for bit."""
+        self._engine._buffer_message_batch(dests, values, counts)
 
     def notify_iteration_end(self) -> None:
         """Request a ``run_on_iteration_end`` callback at this barrier."""

@@ -120,18 +120,27 @@ class GraphIndex:
         return offsets, sizes
 
     def degrees_of(self, vertices: np.ndarray) -> np.ndarray:
-        """Vectorised degree lookup."""
+        """Vectorised degree lookup.
+
+        A whole wave's degrees resolve as one gather against a lazily
+        materialised full-width degree table (hash-table spill folded in).
+        Like the ``locate_many`` shortcut table, this is simulator speed
+        only — the *modelled* RAM stays the compact 1.25B/vertex index.
+        """
         vertices = np.asarray(vertices, dtype=np.int64)
-        out = self._degree_bytes[vertices].astype(np.int64)
-        spill = np.nonzero(out == LARGE_DEGREE)[0]
-        for i in spill:
-            out[i] = self._large_degrees[int(vertices[i])]
-        return out
+        return self._full_degrees()[vertices]
+
+    def _full_degrees(self) -> np.ndarray:
+        cached = getattr(self, "_full_degrees_cache", None)
+        if cached is None:
+            cached = self.degrees_array()
+            self._full_degrees_cache = cached
+        return cached
 
     def _exact_offsets(self) -> np.ndarray:
         cached = getattr(self, "_exact_offsets_cache", None)
         if cached is None:
-            sizes = self._header_bytes + self.degrees_array() * self._edge_bytes
+            sizes = self._header_bytes + self._full_degrees() * self._edge_bytes
             cached = np.zeros(self._num_vertices + 1, dtype=np.int64)
             np.cumsum(sizes, out=cached[1:])
             self._exact_offsets_cache = cached

@@ -81,3 +81,67 @@ class PageVertex:
             f"PageVertex(id={self._vertex_id}, degree={self.num_edges}, "
             f"type={self._edge_type.value})"
         )
+
+
+def _ramp(lengths: np.ndarray, total: int) -> np.ndarray:
+    """``[0..lengths[0]), [0..lengths[1]), ...`` as one flat array."""
+    stops = np.cumsum(lengths)
+    return np.arange(total, dtype=np.int64) - np.repeat(stops - lengths, lengths)
+
+
+def gather_ranges(source: np.ndarray, starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``source[starts[i] : starts[i] + lengths[i]]`` for all
+    ``i`` with a single fancy-index gather (no per-range slicing)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=source.dtype)
+    ramp = _ramp(lengths, total)
+    return source[np.repeat(starts, lengths) + ramp]
+
+
+def scatter_positions(out_starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Flat output indices placing range ``i`` at ``out_starts[i]`` — the
+    scatter-side twin of :func:`gather_ranges`, used when ranges from
+    several source arrays interleave into one concatenation."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.repeat(out_starts, lengths) + _ramp(lengths, total)
+
+
+class PageVertexBatch:
+    """Edge lists of a whole delivered wave, parsed as flat arrays.
+
+    The batched twin of :class:`PageVertex`: ``vertices[i]`` received a
+    list of ``degrees[i]`` neighbors, and every list sits concatenated in
+    delivery order inside one array.  Handed to
+    ``VertexProgram.run_on_vertices`` so data-parallel algorithms touch
+    numpy arrays instead of one ``PageVertex`` object per list.
+    """
+
+    __slots__ = ("vertices", "degrees", "_edges")
+
+    def __init__(self, vertices: np.ndarray, degrees: np.ndarray, edges: np.ndarray) -> None:
+        self.vertices = vertices
+        self.degrees = degrees
+        self._edges = edges
+
+    @property
+    def num_lists(self) -> int:
+        """Delivered edge lists (one per requesting vertex occurrence)."""
+        return int(self.vertices.size)
+
+    @property
+    def total_edges(self) -> int:
+        return int(self._edges.size)
+
+    def read_edges_concat(self) -> np.ndarray:
+        """All neighbor IDs, list after list in delivery order."""
+        return self._edges
+
+    def repeat(self, per_list_values: np.ndarray) -> np.ndarray:
+        """Expand one value per list to one value per edge (the batched
+        form of multicasting a scalar message payload to every neighbor)."""
+        return np.repeat(np.asarray(per_list_values), self.degrees)

@@ -12,6 +12,8 @@ against cached pages.
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.safs.io_request import MergedRequest
 from repro.safs.page import Page, SAFSFile, flash_pages_per_safs_page
 from repro.safs.page_cache import PageCache
@@ -42,6 +44,17 @@ class IOScheduler:
         # Flash-page base of each file on the array, assigned at creation.
         self._file_bases: dict = {}
         self._next_base = 0
+        # _issue_cost_cum[n]: CPU cost of issuing a request plus n cache
+        # lookups, accumulated one float add at a time so the bulk path
+        # reproduces the per-page loop's rounding bit for bit.
+        self._issue_cost_cum: List[float] = [self.cost_model.cpu_per_io_request]
+
+    def _issue_cost(self, num_pages: int) -> float:
+        cum = self._issue_cost_cum
+        per_lookup = self.cost_model.cpu_per_cache_lookup
+        while len(cum) <= num_pages:
+            cum.append(cum[-1] + per_lookup)
+        return cum[num_pages]
 
     def register_file(self, file: SAFSFile) -> None:
         """Lay the file out on the array after every existing file."""
@@ -110,9 +123,65 @@ class IOScheduler:
 
         cpu_cost += pages_fetched * self._flash_per_page * cm.cpu_per_page_transfer
         full_hit = not spans
+        self._count_dispatch(merged.num_pages, pages_fetched, full_hit)
+        return completion, cpu_cost, full_hit
+
+    def dispatch_span(
+        self, file: SAFSFile, first_page: int, last_page: int, issue_time: float
+    ) -> Tuple[float, float, bool]:
+        """Bulk-path twin of :meth:`dispatch` for one page span.
+
+        Takes the span directly (no :class:`MergedRequest` object), probes
+        the cache with one :meth:`~repro.safs.page_cache.PageCache.lookup_range`
+        call, and charges issue CPU from the precomputed cumulative table.
+        Device submissions, cache mutations and every counter are identical
+        to :meth:`dispatch` on the same span.
+        """
+        if file.file_id not in self._file_bases:
+            raise ValueError(f"file {file.name!r} was never registered")
+        cm = self.cost_model
+        completion = issue_time
+        pages_fetched = 0
+        num_pages = last_page - first_page + 1
+        cpu_cost = self._issue_cost(num_pages)
+
+        hit_mask = self.cache.lookup_range(file.file_id, first_page, last_page)
+        if hit_mask.all():
+            runs: List[Tuple[int, int]] = []
+        else:
+            # Miss runs: starts where a miss follows a hit (or the span
+            # start), ends symmetrically.
+            miss = ~hit_mask
+            edges = np.diff(miss.astype(np.int8))
+            starts = np.nonzero(edges == 1)[0] + 1
+            ends = np.nonzero(edges == -1)[0] + 1
+            if miss[0]:
+                starts = np.concatenate([[0], starts])
+            if miss[-1]:
+                ends = np.concatenate([ends, [num_pages]])
+            runs = [
+                (first_page + int(s), int(e - s)) for s, e in zip(starts, ends)
+            ]
+
+        for start, length in runs:
+            flash_first, flash_count = self._flash_extent(file, start, length)
+            done = self.array.submit(issue_time, flash_first, flash_count)
+            if done > completion:
+                completion = done
+            pages_fetched += length
+            self.cache.insert_range(
+                Page(file.file_id, page_no, file.read_page(page_no, self.page_size))
+                for page_no in range(start, start + length)
+            )
+
+        cpu_cost += pages_fetched * self._flash_per_page * cm.cpu_per_page_transfer
+        full_hit = not runs
+        self._count_dispatch(num_pages, pages_fetched, full_hit)
+        return completion, cpu_cost, full_hit
+
+    def _count_dispatch(self, pages: int, pages_fetched: int, full_hit: bool) -> None:
         # Request-size histogram: §3.6 — issued requests range from one
         # page to many megabytes depending on how well merging worked.
-        pages = merged.num_pages
         if pages == 1:
             self.stats.add("io.size_1_page")
         elif pages <= 8:
@@ -122,8 +191,7 @@ class IOScheduler:
         else:
             self.stats.add("io.size_65plus_pages")
         self.stats.add("io.dispatched")
-        self.stats.add("io.pages_requested", merged.num_pages)
+        self.stats.add("io.pages_requested", pages)
         self.stats.add("io.pages_fetched", pages_fetched)
         if full_hit:
             self.stats.add("io.full_hits")
-        return completion, cpu_cost, full_hit

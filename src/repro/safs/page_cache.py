@@ -10,11 +10,19 @@ The simulation reproduces the *placement policy* exactly: a page hashes to
 one set, eviction is LRU within the set only, so conflict misses of a real
 set-associative cache (as opposed to an idealised global LRU) show up in
 the measured hit rates.
+
+Two bulk entry points, :meth:`PageCache.lookup_range` and
+:meth:`PageCache.insert_range`, serve a whole merged span in one call.
+They are wall-clock fast paths only: hit/miss/eviction counters and the
+per-set recency state evolve exactly as the per-page :meth:`lookup` /
+:meth:`insert` calls would (the property tests assert this).
 """
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.safs.page import DEFAULT_PAGE_SIZE, Page
 from repro.sim.stats import StatsCollector
@@ -78,9 +86,17 @@ class PageCache:
             )
         self.stats = stats if stats is not None else StatsCollector()
         self._sets: Dict[int, "OrderedDict[PageKey, Page]"] = {}
-        # gclock state: per-set reference bits and clock hand position.
+        # All resident keys, mirrored across sets: bulk lookups answer the
+        # (dominant) miss case with one set-membership test instead of a
+        # hash + per-set dict probe per page.
+        self._resident: Set[PageKey] = set()
+        # gclock state: per-set reference bits, clock hand position, and the
+        # key ring the hand sweeps.  The ring mirrors the set's insertion
+        # order incrementally (append on insert, pop on evict) so evictions
+        # never rebuild it from the dict.
         self._ref_bits: Dict[int, Dict[PageKey, bool]] = {}
         self._hands: Dict[int, int] = {}
+        self._rings: Dict[int, List[PageKey]] = {}
 
     def _set_index(self, key: PageKey) -> int:
         # A multiplicative hash keeps adjacent pages in different sets so a
@@ -95,23 +111,56 @@ class PageCache:
         Counts one hit or one miss in the shared stats either way.
         """
         key = (file_id, page_no)
+        if key not in self._resident:
+            self.stats.add("cache.misses")
+            return None
         index = self._set_index(key)
-        cache_set = self._sets.get(index)
-        if cache_set is not None and key in cache_set:
-            if self.config.eviction == "lru":
-                cache_set.move_to_end(key)
-            else:
-                self._ref_bits[index][key] = True
-            self.stats.add("cache.hits")
-            return cache_set[key]
-        self.stats.add("cache.misses")
-        return None
+        cache_set = self._sets[index]
+        if self.config.eviction == "lru":
+            cache_set.move_to_end(key)
+        else:
+            self._ref_bits[index][key] = True
+        self.stats.add("cache.hits")
+        return cache_set[key]
+
+    def lookup_range(self, file_id: int, first_page: int, last_page: int) -> np.ndarray:
+        """Probe every page of ``[first_page, last_page]`` in one call.
+
+        Returns a boolean hit mask.  Counter deltas and recency updates are
+        identical to calling :meth:`lookup` per page in ascending order —
+        misses touch nothing but the miss counter, so the whole-span cost
+        collapses to one membership test per page plus per-hit upkeep.
+        """
+        n = last_page - first_page + 1
+        hit_mask = np.zeros(n, dtype=bool)
+        resident = self._resident
+        lru = self.config.eviction == "lru"
+        hits = 0
+        for i in range(n):
+            key = (file_id, first_page + i)
+            if key in resident:
+                hit_mask[i] = True
+                hits += 1
+                index = self._set_index(key)
+                if lru:
+                    self._sets[index].move_to_end(key)
+                else:
+                    self._ref_bits[index][key] = True
+        if hits:
+            self.stats.add("cache.hits", hits)
+        if n - hits:
+            self.stats.add("cache.misses", n - hits)
+        return hit_mask
+
+    def page(self, file_id: int, page_no: int) -> Page:
+        """The cached page, without stats or recency effects (fast paths
+        that already counted the span via :meth:`lookup_range`)."""
+        key = (file_id, page_no)
+        return self._sets[self._set_index(key)][key]
 
     def contains(self, file_id: int, page_no: int) -> bool:
         """Whether the page is cached, without touching recency or stats."""
-        key = (file_id, page_no)
-        cache_set = self._sets.get(self._set_index(key))
-        return cache_set is not None and key in cache_set
+        return (file_id, page_no) in self._resident
 
     def insert(self, page: Page) -> Optional[PageKey]:
         """Cache ``page``, evicting the set-LRU page when the set is full.
@@ -119,6 +168,33 @@ class PageCache:
         Returns the evicted page key, or ``None``.  Re-inserting a cached
         page just refreshes its recency.
         """
+        evicted, _ = self._insert_one(page)
+        return evicted
+
+    def insert_range(self, pages: Iterable[Page]) -> int:
+        """Insert ``pages`` in order; returns the number of evictions.
+
+        Per-page semantics are exactly :meth:`insert`'s (including pages of
+        one batch evicting each other); only the stats updates are batched.
+        """
+        evictions = 0
+        insertions = 0
+        for page in pages:
+            evicted, inserted = self._insert_one(page, count_stats=False)
+            if evicted is not None:
+                evictions += 1
+            if inserted:
+                insertions += 1
+        if evictions:
+            self.stats.add("cache.evictions", evictions)
+        if insertions:
+            self.stats.add("cache.insertions", insertions)
+        return evictions
+
+    def _insert_one(
+        self, page: Page, count_stats: bool = True
+    ) -> Tuple[Optional[PageKey], bool]:
+        """Shared insert path; returns ``(evicted_key, newly_inserted)``."""
         key = page.key
         index = self._set_index(key)
         cache_set = self._sets.get(index)
@@ -128,48 +204,58 @@ class PageCache:
             if self.config.eviction == "gclock":
                 self._ref_bits[index] = {}
                 self._hands[index] = 0
+                self._rings[index] = []
         if key in cache_set:
             if self.config.eviction == "lru":
                 cache_set.move_to_end(key)
             else:
                 self._ref_bits[index][key] = True
             cache_set[key] = page
-            return None
+            return None, False
         evicted: Optional[PageKey] = None
         if len(cache_set) >= self.config.set_capacity:
             if self.config.eviction == "lru":
                 evicted, _ = cache_set.popitem(last=False)
             else:
                 evicted = self._gclock_evict(index, cache_set)
-            self.stats.add("cache.evictions")
+            self._resident.discard(evicted)
+            if count_stats:
+                self.stats.add("cache.evictions")
         cache_set[key] = page
+        self._resident.add(key)
         if self.config.eviction == "gclock":
             # New pages start unreferenced; a hit sets the bit, so pages
             # touched since the last sweep outlive ones merely loaded.
             self._ref_bits[index][key] = False
-        self.stats.add("cache.insertions")
-        return evicted
+            self._rings[index].append(key)
+        if count_stats:
+            self.stats.add("cache.insertions")
+        return evicted, True
 
     def _gclock_evict(self, index: int, cache_set) -> PageKey:
         """Sweep the set's clock hand, clearing reference bits, until an
         unreferenced page is found (guaranteed within two sweeps)."""
         ref_bits = self._ref_bits[index]
-        keys = list(cache_set.keys())
-        hand = self._hands[index] % len(keys)
-        for _ in range(2 * len(keys) + 1):
-            key = keys[hand]
+        ring = self._rings[index]
+        hand = self._hands[index] % len(ring)
+        for _ in range(2 * len(ring) + 1):
+            key = ring[hand]
             if ref_bits.get(key, False):
                 ref_bits[key] = False
-                hand = (hand + 1) % len(keys)
+                hand = (hand + 1) % len(ring)
             else:
-                self._hands[index] = hand  # next sweep resumes here
+                # Removing the victim shifts its successors left one slot,
+                # so the unchanged hand already points at the next page —
+                # the same resume position the full rebuild used to land on.
+                self._hands[index] = hand
+                ring.pop(hand)
                 del cache_set[key]
                 ref_bits.pop(key, None)
                 return key
         raise RuntimeError("gclock failed to find a victim")  # pragma: no cover
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._sets.values())
+        return len(self._resident)
 
     def hit_rate(self) -> float:
         """Hits over lookups so far, 0.0 before any lookup."""
@@ -182,8 +268,10 @@ class PageCache:
     def clear(self) -> None:
         """Drop every cached page (stats are left alone)."""
         self._sets.clear()
+        self._resident.clear()
         self._ref_bits.clear()
         self._hands.clear()
+        self._rings.clear()
 
     def __repr__(self) -> str:
         cfg = self.config
