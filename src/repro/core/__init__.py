@@ -20,7 +20,7 @@ Public surface:
 """
 
 from repro.core.config import EngineConfig, ExecutionMode, PartitionStrategy
-from repro.core.engine import GraphEngine, RunResult
+from repro.core.engine import GraphEngine, IterationAborted, RunResult
 from repro.core.messages import MessageBuffer
 from repro.core.partition import HashPartitioner, RangePartitioner
 from repro.core.scheduler import VertexScheduler, make_scheduler
@@ -31,6 +31,7 @@ __all__ = [
     "ExecutionMode",
     "PartitionStrategy",
     "GraphEngine",
+    "IterationAborted",
     "RunResult",
     "MessageBuffer",
     "RangePartitioner",

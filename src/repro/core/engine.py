@@ -41,11 +41,33 @@ from repro.safs.filesystem import SAFS
 from repro.safs.io_request import IORequest, merge_request_arrays, merge_requests
 from repro.safs.user_task import UserTask
 from repro.sim.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.sim.faults import UnrecoverableIOError
 from repro.sim.numa import NumaTopology
 from repro.sim.stats import StatsCollector
 
 #: Estimated bytes per buffered message (dest id + payload).
 MESSAGE_BYTES = 16
+
+
+class IterationAborted(RuntimeError):
+    """A run hit an unrecoverable I/O error and stopped cleanly.
+
+    The engine never hangs on a dead array and never returns wrong
+    values: when SAFS exhausts its retry/reroute budget the iteration
+    aborts, and this exception carries the partial-progress
+    :class:`RunResult` (clocks, counters and utilisation up to the
+    abort) plus the failed iteration and the root cause.
+    """
+
+    def __init__(
+        self, iteration: int, cause: UnrecoverableIOError, partial: "RunResult"
+    ) -> None:
+        super().__init__(
+            f"iteration {iteration} aborted after unrecoverable I/O: {cause}"
+        )
+        self.iteration = iteration
+        self.cause = cause
+        self.partial = partial
 
 
 @dataclass
@@ -207,17 +229,45 @@ class GraphEngine:
         self.iteration = 0
         peak_messages = 0
 
-        while frontier.size or self._messages.pending:
-            if max_iterations is not None and self.iteration >= max_iterations:
-                break
-            self._run_iteration(frontier, scheduler)
-            peak_messages = max(peak_messages, self._messages.peak_pending)
-            frontier = self._drain_activations()
-            self.iteration += 1
+        try:
+            while frontier.size or self._messages.pending:
+                if max_iterations is not None and self.iteration >= max_iterations:
+                    break
+                self._run_iteration(frontier, scheduler)
+                peak_messages = max(peak_messages, self._messages.peak_pending)
+                frontier = self._drain_activations()
+                self.iteration += 1
+        except UnrecoverableIOError as exc:
+            raise self._abort_run(exc, base, peak_messages) from exc
 
         barrier = max((w.time for w in self._workers), default=0.0)
         busy = sum(w.busy for w in self._workers)
         return self._make_result(barrier, busy, base, peak_messages)
+
+    def _abort_run(
+        self, cause: UnrecoverableIOError, base: Dict[str, float], peak_messages: int
+    ) -> "IterationAborted":
+        """Build the clean abort for an unrecoverable I/O error.
+
+        Clocks stop where the failure was detected, in-flight state is
+        dropped so the engine object stays reusable, and the partial
+        result reports everything accumulated up to the abort — the
+        caller gets progress stats, never a wrong answer.
+        """
+        self._pending_requests.clear()
+        self._pending_batches.clear()
+        self._part_queue.clear()
+        self._attr_waiting.clear()
+        self._activations.clear()
+        self._batch_msg_counts = None
+        if self._messages is not None:
+            self._messages.clear()
+        self.stats.add("faults.aborted_iterations")
+        barrier = max((w.time for w in self._workers), default=0.0)
+        barrier = max(barrier, cause.time)
+        busy = sum(w.busy for w in self._workers)
+        partial = self._make_result(barrier, busy, base, peak_messages)
+        return IterationAborted(self.iteration, cause, partial)
 
     def simulate_init_time(self) -> float:
         """Seconds to load the graph and set up execution (the "Init

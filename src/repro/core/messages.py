@@ -81,9 +81,17 @@ class MessageBuffer:
         self._dest_chunks.clear()
         self._value_chunks.clear()
         self._pending = 0
+        # Canonical delivery order: sort by (destination, value) so the
+        # combined result is a function of the message *multiset* only.
+        # Buffered sends arrive in completion order, which device faults
+        # (and their retries) legitimately perturb — without a canonical
+        # accumulation order, float sums would differ in the last bits
+        # between a fault-free run and a recovered one.
+        order = np.lexsort((values, dests))
+        dests = dests[order]
+        values = values[order]
         if self.combiner is None:
-            order = np.argsort(dests, kind="stable")
-            return dests[order], values[order], np.ones(dests.size, dtype=np.int64)
+            return dests, values, np.ones(dests.size, dtype=np.int64)
         unique, inverse, counts = np.unique(
             dests, return_inverse=True, return_counts=True
         )

@@ -22,6 +22,7 @@ from repro.safs.page import DEFAULT_PAGE_SIZE, SAFSFile
 from repro.safs.page_cache import PageCache, PageCacheConfig
 from repro.safs.user_task import CompletedTask
 from repro.sim.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.sim.faults import FaultPolicy
 from repro.sim.ssd_array import SSDArray, SSDArrayConfig
 from repro.sim.stats import StatsCollector
 
@@ -52,7 +53,11 @@ class SAFS:
         config: Optional[SAFSConfig] = None,
         cost_model: Optional[CostModel] = None,
         stats: Optional[StatsCollector] = None,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
+        """``fault_policy`` governs retries, timeouts and degraded-mode
+        rerouting when ``array`` carries a fault plan; the default policy
+        is inert on a fault-free array."""
         self.config = config or SAFSConfig()
         self.stats = stats if stats is not None else StatsCollector()
         self.cost_model = cost_model or DEFAULT_COST_MODEL
@@ -67,9 +72,19 @@ class SAFS:
             self.stats,
         )
         self.scheduler = IOScheduler(
-            self.array, self.cache, self.cost_model, self.config.page_size, self.stats
+            self.array,
+            self.cache,
+            self.cost_model,
+            self.config.page_size,
+            self.stats,
+            fault_policy=fault_policy,
         )
         self._files: Dict[str, SAFSFile] = {}
+
+    @property
+    def fault_policy(self) -> FaultPolicy:
+        """The recovery policy the scheduler applies to device faults."""
+        return self.scheduler.fault_policy
 
     @property
     def page_size(self) -> int:

@@ -18,12 +18,21 @@ from repro.safs.io_request import MergedRequest
 from repro.safs.page import Page, SAFSFile, flash_pages_per_safs_page
 from repro.safs.page_cache import PageCache
 from repro.sim.cost_model import CostModel
+from repro.sim.faults import DEFAULT_FAULT_POLICY, FaultPolicy, UnrecoverableIOError
 from repro.sim.ssd_array import SSDArray
 from repro.sim.stats import StatsCollector
 
 
 class IOScheduler:
-    """Routes page reads to per-device queues and maintains the cache."""
+    """Routes page reads to per-device queues and maintains the cache.
+
+    When the array carries a :class:`~repro.sim.faults.FaultPlan`, every
+    fetch — scalar :meth:`dispatch` and vectorized :meth:`dispatch_span`
+    alike — runs through the same recovery machinery: per-run retries
+    with exponential backoff in simulated time, per-attempt timeouts,
+    and degraded-mode rerouting around dead devices, all governed by the
+    :class:`~repro.sim.faults.FaultPolicy`.
+    """
 
     def __init__(
         self,
@@ -32,6 +41,7 @@ class IOScheduler:
         cost_model: CostModel,
         page_size: int,
         stats: Optional[StatsCollector] = None,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         if page_size <= 0:
             raise ValueError("page size must be positive")
@@ -39,6 +49,7 @@ class IOScheduler:
         self.cache = cache
         self.cost_model = cost_model
         self.page_size = page_size
+        self.fault_policy = fault_policy or DEFAULT_FAULT_POLICY
         self.stats = stats if stats is not None else StatsCollector()
         self._flash_per_page = flash_pages_per_safs_page(page_size)
         # Flash-page base of each file on the array, assigned at creation.
@@ -75,6 +86,92 @@ class IOScheduler:
             num_pages * self._flash_per_page,
         )
 
+    # ------------------------------------------------------------------
+    # Fault-recovering fetch path
+    # ------------------------------------------------------------------
+
+    def _fetch_extent(self, issue_time: float, flash_first: int, flash_count: int) -> float:
+        """Read one flash extent, recovering from device faults.
+
+        On a fault-free array this is exactly ``array.submit`` — same
+        arithmetic, same counters.  With a fault plan attached, each
+        per-device run is driven individually through :meth:`_fetch_run`
+        so a failed run retries alone: the runs that already succeeded
+        are never resubmitted, which is what keeps retried requests from
+        double-charging device busy time.
+        """
+        array = self.array
+        if array.fault_plan is None:
+            return array.submit(issue_time, flash_first, flash_count)
+        completion = issue_time
+        for device, run_pages in array.split_extent(flash_first, flash_count):
+            done = self._fetch_run(device, run_pages, issue_time)
+            if done > completion:
+                completion = done
+        array.count_extent(flash_count)
+        return completion
+
+    def _fetch_run(self, device: int, run_pages: int, issue_time: float) -> float:
+        """One per-device run with retries, timeouts and rerouting.
+
+        All waiting is charged in simulated time: a retry resubmits at
+        the failure-detection time plus exponential backoff, a timed-out
+        attempt is declared lost at ``submit + timeout``, and a dead
+        device's run re-routes to the surviving replica device.  Raises
+        :class:`UnrecoverableIOError` once the retry budget is spent.
+        """
+        array = self.array
+        policy = self.fault_policy
+        stats = self.stats
+        submit_at = issue_time
+        current = device
+        retries = 0
+        while True:
+            outcome = array.submit_run(current, submit_at, run_pages)
+            if outcome.ok:
+                if outcome.time - submit_at <= policy.request_timeout:
+                    return outcome.time
+                # The device finished the read, but past the deadline:
+                # the data is declared lost at the timeout and refetched.
+                stats.add("faults.timeouts")
+                detection = submit_at + policy.request_timeout
+                reason = "timeout"
+            elif outcome.error == "dead":
+                detection = outcome.time
+                if policy.reroute_on_dead:
+                    target = array.reroute_target(current, detection)
+                    if target is not None:
+                        # Degraded mode: the replica read is the recovery,
+                        # not a retry, so it spends no retry budget.
+                        stats.add("faults.rerouted_requests")
+                        stats.add("faults.rerouted_pages", run_pages)
+                        current = target
+                        submit_at = detection
+                        continue
+                reason = "dead"
+            else:
+                detection = outcome.time
+                reason = outcome.error
+            retries += 1
+            if retries > policy.max_retries:
+                raise UnrecoverableIOError(current, detection, reason)
+            stats.add("faults.retries")
+            submit_at = detection + policy.backoff(retries)
+
+    def _rollback_inserted(self, inserted) -> None:
+        """Drop pages cached by an aborted dispatch.
+
+        An unrecoverable span leaves the cache as if the dispatch never
+        ran (evictions aside): the request's user task will never fire,
+        and a degraded re-run should observe a consistent cache.
+        """
+        dropped = 0
+        for file_id, page_no in inserted:
+            if self.cache.invalidate(file_id, page_no):
+                dropped += 1
+        if dropped:
+            self.stats.add("faults.invalidated_pages", dropped)
+
     def dispatch(self, merged: MergedRequest, issue_time: float) -> Tuple[float, float, bool]:
         """Service one merged request issued at ``issue_time``.
 
@@ -106,9 +203,14 @@ class IOScheduler:
         if run_start is not None:
             spans.append((run_start, merged.last_page + 1 - run_start))
 
+        inserted: List[Tuple[int, int]] = []
         for start, length in spans:
             flash_first, flash_count = self._flash_extent(merged.file, start, length)
-            done = self.array.submit(issue_time, flash_first, flash_count)
+            try:
+                done = self._fetch_extent(issue_time, flash_first, flash_count)
+            except UnrecoverableIOError:
+                self._rollback_inserted(inserted)
+                raise
             if done > completion:
                 completion = done
             pages_fetched += length
@@ -120,6 +222,7 @@ class IOScheduler:
                         merged.file.read_page(page_no, self.page_size),
                     )
                 )
+                inserted.append((merged.file.file_id, page_no))
 
         cpu_cost += pages_fetched * self._flash_per_page * cm.cpu_per_page_transfer
         full_hit = not spans
@@ -163,9 +266,14 @@ class IOScheduler:
                 (first_page + int(s), int(e - s)) for s, e in zip(starts, ends)
             ]
 
+        inserted: List[Tuple[int, int]] = []
         for start, length in runs:
             flash_first, flash_count = self._flash_extent(file, start, length)
-            done = self.array.submit(issue_time, flash_first, flash_count)
+            try:
+                done = self._fetch_extent(issue_time, flash_first, flash_count)
+            except UnrecoverableIOError:
+                self._rollback_inserted(inserted)
+                raise
             if done > completion:
                 completion = done
             pages_fetched += length
@@ -173,6 +281,7 @@ class IOScheduler:
                 Page(file.file_id, page_no, file.read_page(page_no, self.page_size))
                 for page_no in range(start, start + length)
             )
+            inserted.extend((file.file_id, page_no) for page_no in range(start, start + length))
 
         cpu_cost += pages_fetched * self._flash_per_page * cm.cpu_per_page_transfer
         full_hit = not runs

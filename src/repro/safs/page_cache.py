@@ -254,6 +254,36 @@ class PageCache:
                 return key
         raise RuntimeError("gclock failed to find a victim")  # pragma: no cover
 
+    def invalidate(self, file_id: int, page_no: int) -> bool:
+        """Drop one page from the cache, if present.
+
+        Used by the fault machinery: an aborted dispatch rolls back the
+        pages it installed so a degraded re-run observes a consistent
+        cache.  Returns whether the page was resident; counts one
+        ``cache.invalidations`` when it was.
+        """
+        key = (file_id, page_no)
+        if key not in self._resident:
+            return False
+        index = self._set_index(key)
+        del self._sets[index][key]
+        self._resident.discard(key)
+        if self.config.eviction == "gclock":
+            ring = self._rings[index]
+            pos = ring.index(key)
+            ring.pop(pos)
+            hand = self._hands[index]
+            # Keep the hand on the same page it pointed at: entries after
+            # ``pos`` shifted left one slot; a hand past the end wraps.
+            if pos < hand:
+                hand -= 1
+            if ring and hand >= len(ring):
+                hand %= len(ring)
+            self._hands[index] = 0 if not ring else hand
+            self._ref_bits[index].pop(key, None)
+        self.stats.add("cache.invalidations")
+        return True
+
     def __len__(self) -> int:
         return len(self._resident)
 

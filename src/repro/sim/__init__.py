@@ -18,10 +18,25 @@ Public surface:
 - :class:`~repro.sim.ssd_array.SSDArray` — pages striped over many devices,
   one queue per device (SAFS's dedicated per-SSD I/O threads).
 - :class:`~repro.sim.stats.StatsCollector` — counters shared by every layer.
+- :class:`~repro.sim.faults.FaultPlan` and
+  :class:`~repro.sim.faults.FaultPolicy` — deterministic, seeded fault
+  injection for the devices and the recovery policy SAFS applies
+  (see ``docs/fault_model.md``).
 """
 
 from repro.sim.clock import EventQueue, VirtualClock
 from repro.sim.cost_model import CostModel
+from repro.sim.faults import (
+    DeviceCompletion,
+    DeviceFailure,
+    FaultPlan,
+    FaultPolicy,
+    LatencySpike,
+    StuckQueue,
+    TransientErrors,
+    UnrecoverableIOError,
+    fault_coin,
+)
 from repro.sim.ssd import SSD, SSDConfig
 from repro.sim.ssd_array import SSDArray, SSDArrayConfig
 from repro.sim.calibration import (
@@ -45,4 +60,13 @@ __all__ = [
     "expected_envelope",
     "measured_envelope",
     "profile_random_reads",
+    "DeviceCompletion",
+    "DeviceFailure",
+    "FaultPlan",
+    "FaultPolicy",
+    "LatencySpike",
+    "StuckQueue",
+    "TransientErrors",
+    "UnrecoverableIOError",
+    "fault_coin",
 ]

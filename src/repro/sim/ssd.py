@@ -20,6 +20,7 @@ The model is a single FIFO server with pipelined completion latency:
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.sim.faults import DeviceCompletion, FaultPlan
 from repro.sim.stats import StatsCollector
 
 #: Flash page size: SSDs store and access data at 4KB granularity (§5.4.2).
@@ -77,12 +78,31 @@ class SSD:
         config: Optional[SSDConfig] = None,
         stats: Optional[StatsCollector] = None,
         name: str = "ssd0",
+        fault_plan: Optional[FaultPlan] = None,
+        device_index: int = 0,
     ) -> None:
         self.config = config or SSDConfig()
         self.stats = stats if stats is not None else StatsCollector()
         self.name = name
+        self.fault_plan = fault_plan
+        self.device_index = device_index
         self._busy_until = 0.0
         self._busy_time = 0.0
+        # Monotone attempt ordinal: seeds the deterministic fault coin, so
+        # it is part of the device's replay-relevant mutable state and
+        # must be cleared by :meth:`reset`.
+        self._attempts = 0
+        self._stall_time = 0.0
+
+    @property
+    def attempts(self) -> int:
+        """Attempts accepted so far (ordinal of the next attempt minus 1)."""
+        return self._attempts
+
+    @property
+    def stall_time(self) -> float:
+        """Total seconds arrivals spent stalled in stuck-queue windows."""
+        return self._stall_time
 
     @property
     def busy_until(self) -> float:
@@ -106,23 +126,89 @@ class SSD:
 
         Returns the virtual completion time.  The device services requests
         in arrival order; completion additionally includes the pipelined
-        ``read_latency``.
+        ``read_latency``.  Only valid on a fault-free device — callers
+        that attached a :class:`~repro.sim.faults.FaultPlan` must use
+        :meth:`submit_request` and handle error completions.
+        """
+        outcome = self.submit_request(arrival_time, num_pages)
+        if not outcome.ok:
+            raise RuntimeError(
+                f"{self.name}: submit() cannot surface a "
+                f"{outcome.error!r} fault; use submit_request()"
+            )
+        return outcome.time
+
+    def submit_request(self, arrival_time: float, num_pages: int) -> DeviceCompletion:
+        """Enqueue a read and return its :class:`DeviceCompletion`.
+
+        The fault-aware twin of :meth:`submit`: a dead device rejects the
+        attempt immediately (no service charged); stuck-queue windows
+        delay the effective arrival; latency spikes inflate the service
+        time; transient-error windows complete the attempt — charging its
+        full service — but flag the data bad so the SAFS layer retries.
+
+        Without a fault plan the arithmetic is exactly the historical
+        happy path, bit for bit.
         """
         if arrival_time < 0.0:
             raise ValueError("arrival_time cannot be negative")
+        plan = self.fault_plan
+        if plan is None:
+            service = self.service_time(num_pages)
+            start = max(arrival_time, self._busy_until)
+            self._busy_until = start + service
+            self._busy_time += service
+            self.stats.add("ssd.requests")
+            self.stats.add("ssd.pages_read", num_pages)
+            self.stats.add("ssd.bytes_read", num_pages * FLASH_PAGE_SIZE)
+            return DeviceCompletion(
+                self._busy_until + self.config.read_latency,
+                True,
+                None,
+                service,
+                self.device_index,
+            )
+
+        device = self.device_index
+        if plan.is_dead(device, arrival_time):
+            self.stats.add("faults.dead_requests")
+            return DeviceCompletion(arrival_time, False, "dead", 0.0, device)
+        effective_arrival = plan.stall_release(device, arrival_time)
+        if effective_arrival > arrival_time:
+            stalled = effective_arrival - arrival_time
+            self._stall_time += stalled
+            self.stats.add("faults.stalled_requests")
+            self.stats.add("faults.stall_time", stalled)
+        self._attempts += 1
+        ordinal = self._attempts
         service = self.service_time(num_pages)
-        start = max(arrival_time, self._busy_until)
+        start = max(effective_arrival, self._busy_until)
+        factor = plan.service_factor(device, start)
+        if factor != 1.0:
+            service *= factor
+            self.stats.add("faults.spiked_requests")
         self._busy_until = start + service
         self._busy_time += service
         self.stats.add("ssd.requests")
         self.stats.add("ssd.pages_read", num_pages)
         self.stats.add("ssd.bytes_read", num_pages * FLASH_PAGE_SIZE)
-        return self._busy_until + self.config.read_latency
+        done = self._busy_until + self.config.read_latency
+        if plan.read_error(device, ordinal, start):
+            self.stats.add("faults.transient_errors")
+            return DeviceCompletion(done, False, "transient", service, device)
+        return DeviceCompletion(done, True, None, service, device)
 
     def reset(self) -> None:
-        """Clear queue state (not the shared stats) for a fresh run."""
+        """Clear all mutable per-run state (not the shared stats).
+
+        Every field :meth:`submit_request` mutates is reset — including
+        the attempt ordinal that seeds the fault coin, so a reset device
+        replays a fault plan exactly like a freshly built one.
+        """
         self._busy_until = 0.0
         self._busy_time = 0.0
+        self._attempts = 0
+        self._stall_time = 0.0
 
     def __repr__(self) -> str:
         return f"SSD(name={self.name!r}, busy_until={self._busy_until:.6f})"

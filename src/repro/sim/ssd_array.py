@@ -10,6 +10,7 @@ per-device sub-requests whose completion is the latest sub-completion.
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.sim.faults import DeviceCompletion, FaultPlan
 from repro.sim.ssd import FLASH_PAGE_SIZE, SSD, SSDConfig
 from repro.sim.stats import StatsCollector
 
@@ -44,11 +45,13 @@ class SSDArray:
         config: Optional[SSDArrayConfig] = None,
         stats: Optional[StatsCollector] = None,
         device_configs: Optional[List[SSDConfig]] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         """``device_configs`` overrides the per-device envelope (one entry
         per device) — used to model stragglers: a degraded drive slows only
         the requests striped onto it, since SAFS drives each device from
-        its own I/O thread and queue."""
+        its own I/O thread and queue.  ``fault_plan`` injects scheduled
+        faults into every device (see :mod:`repro.sim.faults`)."""
         self.config = config or SSDArrayConfig()
         if self.config.num_ssds <= 0:
             raise ValueError("an SSD array needs at least one device")
@@ -57,9 +60,10 @@ class SSDArray:
         if device_configs is not None and len(device_configs) != self.config.num_ssds:
             raise ValueError("device_configs must have one entry per device")
         self.stats = stats if stats is not None else StatsCollector()
+        self.fault_plan = fault_plan
         configs = device_configs or [self.config.ssd_config] * self.config.num_ssds
         self._ssds: List[SSD] = [
-            SSD(cfg, self.stats, name=f"ssd{i}")
+            SSD(cfg, self.stats, name=f"ssd{i}", fault_plan=fault_plan, device_index=i)
             for i, cfg in enumerate(configs)
         ]
 
@@ -112,6 +116,44 @@ class SSDArray:
         self.stats.add("array.pages_read", num_pages)
         self.stats.add("array.bytes_read", num_pages * FLASH_PAGE_SIZE)
         return completion
+
+    def submit_run(
+        self, device: int, arrival_time: float, num_pages: int
+    ) -> DeviceCompletion:
+        """Submit one per-device run and return its outcome.
+
+        The fault-aware building block the SAFS scheduler drives: it
+        touches exactly one device queue and reports errors instead of
+        raising, so the caller can retry, back off or re-route.
+        """
+        return self._ssds[device].submit_request(arrival_time, num_pages)
+
+    def count_extent(self, num_pages: int) -> None:
+        """Record the array-level counters for one submitted extent.
+
+        Split out of :meth:`submit` so the fault-recovering dispatch path
+        can drive runs individually while keeping the counter stream
+        identical to the happy path.
+        """
+        self.stats.add("array.requests")
+        self.stats.add("array.pages_read", num_pages)
+        self.stats.add("array.bytes_read", num_pages * FLASH_PAGE_SIZE)
+
+    def reroute_target(self, device: int, time: float) -> Optional[int]:
+        """The surviving device that stands in for dead ``device``.
+
+        Degraded mode models a replica read: the striped data of a dead
+        device is served by the next alive device in ring order (the
+        mirror placement of a declustered RAID).  Returns ``None`` when
+        every device is dead at ``time``.
+        """
+        plan = self.fault_plan
+        num = self.config.num_ssds
+        for step in range(1, num):
+            candidate = (device + step) % num
+            if plan is None or not plan.is_dead(candidate, time):
+                return candidate
+        return None
 
     def busy_time(self) -> float:
         """Total device-seconds spent servicing requests across the array."""

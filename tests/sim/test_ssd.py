@@ -88,3 +88,18 @@ class TestSSDSubmit:
         ssd.reset()
         assert ssd.busy_until == 0.0
         assert ssd.busy_time == 0.0
+
+    def test_reset_clears_every_mutable_field(self):
+        """Regression: reset() once left the attempt ordinal and stall
+        total behind, so a reused device replayed fault plans differently
+        from a fresh one.  Every non-configuration attribute must return
+        to its construction value."""
+        ssd = SSD()
+        for i in range(5):
+            ssd.submit(i * 1e-4, 3)
+        ssd.reset()
+        pristine = {
+            k: v
+            for k, v in vars(SSD(config=ssd.config, stats=ssd.stats)).items()
+        }
+        assert vars(ssd) == pristine
