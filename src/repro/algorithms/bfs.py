@@ -28,6 +28,7 @@ class BFSProgram(VertexProgram):
     edge_type = EdgeType.OUT
     combiner = None
     state_bytes_per_vertex = 1  # one "visited" byte, as in the paper
+    checkpoint_fields = ("visited", "level")
 
     def __init__(self, num_vertices: int) -> None:
         self.visited = np.zeros(num_vertices, dtype=bool)
@@ -59,6 +60,14 @@ class DirectionOptimizingBFSProgram(BFSProgram):
 
     edge_type = EdgeType.BOTH
     state_bytes_per_vertex = 2
+    checkpoint_fields = (
+        "visited",
+        "level",
+        "bottom_up_fraction",
+        "_frontier_size",
+        "_adopted",
+        "_bottom_up",
+    )
 
     def __init__(self, num_vertices: int, bottom_up_fraction: float = 0.05) -> None:
         super().__init__(num_vertices)

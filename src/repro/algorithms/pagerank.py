@@ -34,6 +34,7 @@ class PageRankProgram(VertexProgram):
     edge_type = EdgeType.OUT
     combiner = "sum"
     state_bytes_per_vertex = 8  # rank (f4) + pending delta (f4)
+    checkpoint_fields = ("damping", "tolerance", "rank", "pending", "_sending")
 
     def __init__(
         self,

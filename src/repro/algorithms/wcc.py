@@ -22,6 +22,7 @@ class WCCProgram(VertexProgram):
     edge_type = EdgeType.BOTH
     combiner = "min"
     state_bytes_per_vertex = 4  # the component label
+    checkpoint_fields = ("component",)
 
     def __init__(self, num_vertices: int) -> None:
         self.component = np.arange(num_vertices, dtype=np.int64)

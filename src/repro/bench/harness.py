@@ -27,6 +27,9 @@ from repro.core.engine import GraphEngine, RunResult
 from repro.graph.builder import GraphImage
 from repro.safs.filesystem import SAFS, SAFSConfig
 from repro.sim.cost_model import CostModel
+from repro.sim.faults import FaultPlan, FaultPolicy
+from repro.sim.health import HealthPolicy
+from repro.sim.parity import ParityConfig
 from repro.sim.ssd_array import SSDArray, SSDArrayConfig
 
 #: The six applications of §4, in the paper's order.
@@ -65,9 +68,18 @@ def make_engine(
     range_shift: int = 8,
     cost_model: Optional[CostModel] = None,
     array_config: Optional[SSDArrayConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_policy: Optional[FaultPolicy] = None,
+    health_policy: Optional[HealthPolicy] = None,
+    parity: Optional[ParityConfig] = None,
     **config_overrides,
 ) -> GraphEngine:
-    """A fully-wired engine over a fresh SAFS instance."""
+    """A fully-wired engine over a fresh SAFS instance.
+
+    The robustness knobs (``fault_plan``/``fault_policy``/
+    ``health_policy``/``parity``) only apply in semi-external mode; all
+    default to off, which keeps the array on the exact legacy fast path.
+    """
     config = EngineConfig(
         mode=mode,
         num_threads=num_threads,
@@ -76,11 +88,15 @@ def make_engine(
     )
     safs = None
     if mode is ExecutionMode.SEMI_EXTERNAL:
-        array = SSDArray(array_config or SSDArrayConfig())
+        array = SSDArray(
+            array_config or SSDArrayConfig(), fault_plan=fault_plan, parity=parity
+        )
         safs = SAFS(
             array,
             SAFSConfig(page_size=page_size, cache_bytes=cache_bytes),
             stats=array.stats,
+            fault_policy=fault_policy,
+            health_policy=health_policy,
         )
     return GraphEngine(image, safs=safs, config=config, cost_model=cost_model)
 

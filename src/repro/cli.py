@@ -23,8 +23,14 @@ from repro.bench import extra_experiments
 from repro.bench.datasets import DATASETS, load_dataset
 from repro.bench.harness import PAPER_APPS, make_engine, result_row, run_algorithm
 from repro.bench.reporting import format_table
+from repro.core.checkpoint import CheckpointManager
 from repro.core.config import ExecutionMode
+from repro.core.engine import IterationAborted
 from repro.core.tracing import IterationTracer
+from repro.safs.page import SAFSFile
+from repro.sim.faults import default_chaos_plan
+from repro.sim.health import HealthPolicy
+from repro.sim.parity import ParityConfig
 from repro.graph.builder import build_directed
 from repro.graph.io_edge_list import load_edges_npz, load_edges_text, save_edges_npz
 
@@ -74,6 +80,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--max-iterations", type=int, default=30)
     run.add_argument("--trace", help="write per-iteration CSV here")
+    run.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="inject the default chaos plan, seeded (semi-external only)",
+    )
+    run.add_argument(
+        "--parity", action="store_true",
+        help="stripe a rotating parity page per stripe; single-device "
+        "loss and silent corruption reconstruct from survivors",
+    )
+    run.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for iteration-barrier checkpoints",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="barriers between checkpoints (with --checkpoint-dir)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir; "
+        "the finished run is bit-identical to an uninterrupted one",
+    )
 
     bench = sub.add_parser("bench", help="regenerate one paper experiment")
     bench.add_argument("--experiment", choices=sorted(EXPERIMENTS), required=True)
@@ -106,26 +134,62 @@ def cmd_generate(args) -> int:
 def cmd_run(args) -> int:
     image = _load_image(args)
     mode = ExecutionMode(args.mode)
+    if mode is not ExecutionMode.SEMI_EXTERNAL:
+        if args.fault_seed is not None:
+            raise SystemExit("--fault-seed needs --mode semi-external")
+        if args.parity:
+            raise SystemExit("--parity needs --mode semi-external")
+    fault_plan = None
+    if args.fault_seed is not None:
+        fault_plan = default_chaos_plan(args.fault_seed)
+    # Pin the file-id counter so every `run` invocation lays files out
+    # identically (cache set hashing keys on ids): a checkpoint written
+    # by one process must restore in another.
+    SAFSFile._next_id = 0
     engine = make_engine(
         image,
         mode=mode,
         cache_bytes=int(args.cache_mb * (1 << 20)),
         num_threads=args.threads,
+        fault_plan=fault_plan,
+        health_policy=HealthPolicy() if fault_plan is not None else None,
+        parity=ParityConfig() if args.parity else None,
     )
+    manager = None
+    if args.checkpoint_dir:
+        manager = CheckpointManager(args.checkpoint_dir)
+        engine.enable_checkpoints(manager, every=args.checkpoint_every)
+    if args.resume:
+        if manager is None:
+            raise SystemExit("--resume needs --checkpoint-dir")
+        iteration = engine.resume_from(manager)
+        print(f"resuming from the iteration-{iteration} checkpoint")
     tracer = IterationTracer(engine) if args.trace else None
-    if tracer:
-        with tracer:
+    try:
+        if tracer:
+            with tracer:
+                result = run_algorithm(
+                    engine, args.algorithm, source=args.source,
+                    max_iterations=args.max_iterations,
+                )
+            tracer.write_csv(args.trace)
+            print(f"wrote {tracer.num_iterations}-iteration trace -> {args.trace}")
+        else:
             result = run_algorithm(
                 engine, args.algorithm, source=args.source,
                 max_iterations=args.max_iterations,
             )
-        tracer.write_csv(args.trace)
-        print(f"wrote {tracer.num_iterations}-iteration trace -> {args.trace}")
-    else:
-        result = run_algorithm(
-            engine, args.algorithm, source=args.source,
-            max_iterations=args.max_iterations,
+    except IterationAborted as aborted:
+        print(
+            f"run aborted at iteration {aborted.iteration}: {aborted.cause}",
+            file=sys.stderr,
         )
+        if manager is not None and manager.latest() is not None:
+            print(
+                f"latest checkpoint: {manager.latest()} (re-run with --resume)",
+                file=sys.stderr,
+            )
+        return 1
     row = result_row(mode.value, args.algorithm, result)
     print(format_table([row], title=f"{args.algorithm} on {image.name}"))
     return 0

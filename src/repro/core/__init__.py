@@ -17,8 +17,12 @@ Public surface:
   merging discipline, partitioning parameters.
 - :class:`~repro.core.engine.RunResult` — simulated runtime, utilisation
   and memory accounting for one run.
+- :class:`~repro.core.checkpoint.CheckpointManager` — iteration-barrier
+  checkpoint/restore; a resumed run finishes bit-identical to an
+  uninterrupted one (see ``docs/recovery.md``).
 """
 
+from repro.core.checkpoint import CheckpointError, CheckpointManager
 from repro.core.config import EngineConfig, ExecutionMode, PartitionStrategy
 from repro.core.engine import GraphEngine, IterationAborted, RunResult
 from repro.core.messages import MessageBuffer
@@ -27,6 +31,8 @@ from repro.core.scheduler import VertexScheduler, make_scheduler
 from repro.core.vertex_program import GraphContext, VertexProgram
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointManager",
     "EngineConfig",
     "ExecutionMode",
     "PartitionStrategy",

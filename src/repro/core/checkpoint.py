@@ -1,0 +1,133 @@
+"""Iteration-barrier checkpoint/restore for the graph engine.
+
+Long-running billion-node jobs need more than fault *detection*: when a
+run dies past every recovery budget (or the process is killed), hours of
+work should not vanish.  ACGraph's out-of-core recovery model shows the
+right granularity is the iteration barrier — the one point where the
+engine's transient state collapses to almost nothing:
+
+- every pending request wave, vertex part and attribute pairing is empty,
+- the message buffer has been delivered (only its peak gauge survives),
+- every worker clock sits exactly on the barrier.
+
+What remains is serialized here: the vertex-program state, the next
+frontier, all DES counters (the shared :class:`StatsCollector` plus the
+run's base snapshot), per-worker clocks, per-device SSD queue state
+(including hot spares and in-flight rebuilds), the health monitor, the
+full page-cache placement/recency state, and the vertex scheduler's RNG.
+Restoring puts every float back bit for bit, so a resumed run finishes
+**bit-identical** to an uninterrupted one — results and counters alike
+(the crash-resume matrix test asserts exactly this).
+
+Format: one pickle per checkpoint holding a versioned plain dict of
+Python scalars and numpy arrays.  Pickle round-trips every float (and
+``inf``) exactly and keeps numpy arrays in their native dtype, which is
+the whole requirement; the files are internal state, not an interchange
+format — treat them like any other pickle (do not load untrusted ones).
+Writes go to a temp file in the same directory followed by an atomic
+rename, so a crash mid-save never corrupts the latest good checkpoint.
+
+Checkpoint I/O itself is free in *simulated* time: the paper's arrays
+are read-only during computation (SEM never writes to the SSDs), so the
+checkpoint is modelled as landing on separate durable storage outside
+the simulated array — see ``docs/recovery.md``.
+"""
+
+import os
+import pickle
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Current checkpoint format version; bumped on incompatible changes.
+CHECKPOINT_VERSION = 1
+
+_CHECKPOINT_NAME = re.compile(r"^ckpt_iter_(\d{8})\.pkl$")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be saved, loaded or applied."""
+
+
+class CheckpointManager:
+    """Writes and locates iteration-barrier checkpoints in one directory.
+
+    One manager owns one directory; checkpoints are named by the
+    iteration they capture (``ckpt_iter_00000007.pkl``), so ``latest()``
+    is a pure directory listing and a re-run with ``--resume`` needs no
+    side-channel metadata.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, iteration: int) -> Path:
+        """Where the checkpoint of ``iteration`` lives."""
+        if iteration < 0:
+            raise ValueError("iterations are non-negative")
+        return self.directory / f"ckpt_iter_{iteration:08d}.pkl"
+
+    def save(self, state: Dict) -> Path:
+        """Persist one captured state dict atomically; returns its path.
+
+        The write lands in a temp file in the same directory and is
+        renamed into place, so readers only ever see complete
+        checkpoints — a crash mid-save leaves the previous one intact.
+        """
+        if state.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"refusing to save a state dict of version "
+                f"{state.get('version')!r} (expected {CHECKPOINT_VERSION})"
+            )
+        path = self.path_for(int(state["iteration"]))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".ckpt_tmp_", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(state, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, source: Union[int, str, Path]) -> Dict:
+        """Load one checkpoint by iteration number or path."""
+        path = self.path_for(source) if isinstance(source, int) else Path(source)
+        if not path.exists():
+            raise CheckpointError(f"no checkpoint at {path}")
+        with open(path, "rb") as fh:
+            state = pickle.load(fh)
+        if not isinstance(state, dict) or "version" not in state:
+            raise CheckpointError(f"{path} is not a checkpoint")
+        if state["version"] != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{path} has format version {state['version']}, "
+                f"this build reads {CHECKPOINT_VERSION}"
+            )
+        return state
+
+    def iterations(self) -> List[int]:
+        """Iterations with a checkpoint on disk, ascending."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _CHECKPOINT_NAME.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest(self) -> Optional[Path]:
+        """The newest checkpoint's path, or ``None`` when empty."""
+        iterations = self.iterations()
+        if not iterations:
+            return None
+        return self.path_for(iterations[-1])
+
+    def __repr__(self) -> str:
+        return f"CheckpointManager({str(self.directory)!r})"

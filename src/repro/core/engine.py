@@ -23,6 +23,7 @@ clock, so device-queue contention between threads is simulated fairly.
 
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -195,6 +196,12 @@ class GraphEngine:
         self._messages: Optional[MessageBuffer] = None
         self._iteration_end_requested = False
         self._extra_edge_charge = 0
+        # Iteration-barrier checkpointing (see repro.core.checkpoint):
+        # a manager plus interval arm capture; a pending resume state is
+        # consumed by the next run() call.
+        self._checkpoint_manager = None
+        self._checkpoint_every = 0
+        self._resume_state: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -229,6 +236,15 @@ class GraphEngine:
         self.iteration = 0
         peak_messages = 0
 
+        resume = self._resume_state
+        self._resume_state = None
+        if resume is not None:
+            frontier, peak_messages, base = self._apply_checkpoint(
+                resume, program, scheduler
+            )
+
+        manager = self._checkpoint_manager
+        every = self._checkpoint_every
         try:
             while frontier.size or self._messages.pending:
                 if max_iterations is not None and self.iteration >= max_iterations:
@@ -237,6 +253,15 @@ class GraphEngine:
                 peak_messages = max(peak_messages, self._messages.peak_pending)
                 frontier = self._drain_activations()
                 self.iteration += 1
+                if manager is not None and every and self.iteration % every == 0:
+                    # Saving never touches the shared stats: the counter
+                    # stream of a checkpointed run must stay bit-identical
+                    # to an unmonitored one.
+                    manager.save(
+                        self._capture_checkpoint(
+                            frontier, peak_messages, base, scheduler
+                        )
+                    )
         except UnrecoverableIOError as exc:
             raise self._abort_run(exc, base, peak_messages) from exc
 
@@ -268,6 +293,188 @@ class GraphEngine:
         busy = sum(w.busy for w in self._workers)
         partial = self._make_result(barrier, busy, base, peak_messages)
         return IterationAborted(self.iteration, cause, partial)
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore (see repro.core.checkpoint)
+    # ------------------------------------------------------------------
+
+    def enable_checkpoints(self, manager, every: int = 1) -> None:
+        """Save a checkpoint through ``manager`` every ``every`` barriers.
+
+        Checkpointing is pure observation: it never touches the shared
+        stats, device queues or worker clocks, so an armed run stays
+        bit-identical to an unarmed one.
+        """
+        if every < 1:
+            raise ValueError("the checkpoint interval must be at least 1")
+        self._checkpoint_manager = manager
+        self._checkpoint_every = every
+
+    def resume_from(self, source) -> int:
+        """Arm the next :meth:`run` call to resume from a checkpoint.
+
+        ``source`` may be a loaded state dict, a path, or a
+        :class:`~repro.core.checkpoint.CheckpointManager` (its latest
+        checkpoint is used).  The resumed run must be configured exactly
+        like the original (same graph, program construction, thread
+        count and ``max_iterations``); validation failures raise before
+        any state is mutated.  Returns the iteration the run will resume
+        from.
+        """
+        from repro.core.checkpoint import CheckpointError, CheckpointManager
+
+        if isinstance(source, CheckpointManager):
+            latest = source.latest()
+            if latest is None:
+                raise CheckpointError(
+                    f"no checkpoint to resume from in {source.directory}"
+                )
+            state = source.load(latest)
+        elif isinstance(source, dict):
+            state = source
+        else:
+            state = CheckpointManager(Path(source).parent).load(source)
+        self._resume_state = state
+        return int(state["iteration"])
+
+    def _capture_checkpoint(
+        self, frontier: np.ndarray, peak_messages: int, base: Dict[str, float], scheduler
+    ) -> dict:
+        """Serialize the engine at an iteration barrier.
+
+        Every transient queue is empty here (requests, parts, batches,
+        activations, messages), so the capture is the program state, the
+        next frontier, the DES clocks and counters, and the SAFS stack's
+        mutable state — everything :meth:`_apply_checkpoint` needs for a
+        bit-identical continuation.
+        """
+        from repro.core.checkpoint import CHECKPOINT_VERSION
+
+        state: dict = {
+            "version": CHECKPOINT_VERSION,
+            "image": {
+                "name": self.image.name,
+                "num_vertices": int(self.image.num_vertices),
+            },
+            "engine": {
+                "num_threads": int(self.config.num_threads),
+                "mode": self.config.mode.value,
+            },
+            "iteration": int(self.iteration),
+            "frontier": np.asarray(frontier, dtype=np.int64).copy(),
+            "peak_messages": int(peak_messages),
+            "peak_pending": int(self._messages.peak_pending),
+            "base": dict(base),
+            "counters": self.stats.snapshot(),
+            "worker_time": np.asarray([w.time for w in self._workers]),
+            "worker_busy": np.asarray([w.busy for w in self._workers]),
+            "scheduler_rng": scheduler._rng.bit_generator.state,
+            "program": {
+                "class": type(self.program).__name__,
+                "state": self.program.snapshot_state(),
+            },
+        }
+        if self.safs is not None:
+            health = self.safs.health
+            state["safs"] = {
+                "files": {
+                    name: self.safs.open_file(name).file_id
+                    for name in self.safs.file_names()
+                },
+                "array": self.safs.array.export_state(),
+                "health": None if health is None else health.export_state(),
+                "cache": self.safs.cache.export_state(),
+            }
+        else:
+            state["safs"] = None
+        return state
+
+    def _apply_checkpoint(self, state: dict, program: VertexProgram, scheduler):
+        """Reinstate a captured barrier state onto this engine.
+
+        Returns ``(frontier, peak_messages, base)`` for the run loop.
+        The engine must have been built exactly like the checkpointed
+        one; mismatches raise :class:`CheckpointError` before mutation.
+        """
+        from repro.core.checkpoint import CheckpointError
+
+        image = state["image"]
+        if (
+            image["name"] != self.image.name
+            or image["num_vertices"] != self.image.num_vertices
+        ):
+            raise CheckpointError(
+                f"checkpoint is for graph {image['name']!r} "
+                f"({image['num_vertices']} vertices), not "
+                f"{self.image.name!r} ({self.image.num_vertices})"
+            )
+        meta = state["engine"]
+        if meta["num_threads"] != self.config.num_threads:
+            raise CheckpointError(
+                f"checkpoint ran {meta['num_threads']} threads, "
+                f"this engine has {self.config.num_threads}"
+            )
+        if meta["mode"] != self.config.mode.value:
+            raise CheckpointError(
+                f"checkpoint ran in {meta['mode']} mode, this engine "
+                f"is {self.config.mode.value}"
+            )
+        prog_meta = state["program"]
+        if prog_meta["class"] != type(program).__name__:
+            raise CheckpointError(
+                f"checkpoint holds {prog_meta['class']} state, the run "
+                f"was given {type(program).__name__}"
+            )
+        safs_state = state["safs"]
+        if (safs_state is None) != (self.safs is None):
+            raise CheckpointError(
+                "checkpoint and engine disagree about semi-external mode"
+            )
+        if safs_state is not None:
+            files = {
+                name: self.safs.open_file(name).file_id
+                for name in self.safs.file_names()
+            }
+            if files != safs_state["files"]:
+                raise CheckpointError(
+                    "the SAFS file table does not match the checkpoint "
+                    "(file names or ids differ; rebuild the stack the "
+                    "same way as the checkpointed run)"
+                )
+            if (safs_state["health"] is None) != (self.safs.health is None):
+                raise CheckpointError(
+                    "checkpoint and engine disagree about health monitoring"
+                )
+
+        # Validation passed — reinstate, counters first.
+        self.stats.reset()
+        self.stats.merge(state["counters"])
+        base = dict(state["base"])
+        self.iteration = int(state["iteration"])
+        frontier = np.asarray(state["frontier"], dtype=np.int64).copy()
+        for worker, time, busy in zip(
+            self._workers, state["worker_time"], state["worker_busy"]
+        ):
+            worker.time = float(time)
+            worker.busy = float(busy)
+        scheduler._rng.bit_generator.state = state["scheduler_rng"]
+        program.restore_state(prog_meta["state"])
+        self._messages.restore_peak(state["peak_pending"])
+        if safs_state is not None:
+            self.safs.array.restore_state(safs_state["array"])
+            if safs_state["health"] is not None:
+                self.safs.health.restore_state(safs_state["health"])
+            by_id = {
+                self.safs.open_file(name).file_id: self.safs.open_file(name)
+                for name in self.safs.file_names()
+            }
+            self.safs.cache.restore_state(
+                safs_state["cache"],
+                lambda file_id, page_no: by_id[file_id].read_page(
+                    page_no, self.safs.page_size
+                ),
+            )
+        return frontier, int(state["peak_messages"]), base
 
     def simulate_init_time(self) -> float:
         """Seconds to load the graph and set up execution (the "Init

@@ -106,6 +106,17 @@ class MessageBuffer:
             np.maximum.at(out, inverse, values)
         return unique, out, counts
 
+    def restore_peak(self, peak: int) -> None:
+        """Reinstate the peak-occupancy gauge from a checkpoint.
+
+        At an iteration barrier the buffer itself is empty (delivery
+        happened inside the iteration), so the monotone peak is the only
+        state a resume needs to carry over for memory accounting.
+        """
+        if self._pending:
+            raise RuntimeError("cannot restore the peak of a non-empty buffer")
+        self._peak_pending = int(peak)
+
     def clear(self) -> None:
         """Drop everything without delivering."""
         self._dest_chunks.clear()

@@ -28,12 +28,15 @@ results are bit-identical to the per-vertex path (see
 ``docs/architecture.md``, "Hot paths and vectorization invariants").
 """
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.page_vertex import PageVertex
 from repro.graph.types import EdgeType
+
+#: Scalar types the default snapshot captures alongside numpy arrays.
+_SNAPSHOT_SCALARS = (bool, int, float, str)
 
 
 class VertexProgram:
@@ -75,6 +78,57 @@ class VertexProgram:
     def custom_order(self, active: np.ndarray, iteration: int) -> np.ndarray:
         """Ordering for ``ScheduleOrder.CUSTOM`` (override to use)."""
         raise NotImplementedError
+
+    # -- checkpoint hooks -------------------------------------------------
+
+    #: Attributes the iteration-barrier checkpoint serializes.  ``None``
+    #: auto-detects: every instance attribute that is a numpy array or a
+    #: plain scalar (bool/int/float/str) is captured.  Programs holding
+    #: state the default cannot see (nested objects, callables) declare
+    #: their fields here or override the two hooks.
+    checkpoint_fields: Optional[Tuple[str, ...]] = None
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Copy every per-vertex state field for a checkpoint.
+
+        Arrays are copied (a resumed run must not alias a live one);
+        scalars are stored as-is.  The default covers any program whose
+        state is numpy arrays plus plain scalars — which is all of the
+        paper's applications.
+        """
+        names = self.checkpoint_fields
+        if names is None:
+            names = tuple(
+                name
+                for name, value in vars(self).items()
+                if isinstance(value, (np.ndarray,) + _SNAPSHOT_SCALARS)
+            )
+        state: Dict[str, object] = {}
+        for name in names:
+            value = getattr(self, name)
+            state[name] = value.copy() if isinstance(value, np.ndarray) else value
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate a :meth:`snapshot_state` dict bit for bit."""
+        for name, value in state.items():
+            if not hasattr(self, name):
+                raise ValueError(
+                    f"checkpoint field {name!r} does not exist on "
+                    f"{type(self).__name__}"
+                )
+            current = getattr(self, name)
+            if isinstance(current, np.ndarray):
+                value = np.asarray(value)
+                if value.shape != current.shape or value.dtype != current.dtype:
+                    raise ValueError(
+                        f"checkpoint field {name!r} has shape/dtype "
+                        f"{value.shape}/{value.dtype}, the program expects "
+                        f"{current.shape}/{current.dtype}"
+                    )
+                setattr(self, name, value.copy())
+            else:
+                setattr(self, name, value)
 
 
 class GraphContext:

@@ -17,9 +17,18 @@ This package implements SAFS faithfully over the simulated SSD array:
   filesystem-level merging within a bounded queue window.
 - :mod:`repro.safs.user_task` — the async user-task abstraction.
 - :mod:`repro.safs.filesystem` — the SAFS facade the engine talks to.
+- :mod:`repro.safs.integrity` — per-page splitmix64 checksums verified on
+  every device fetch when a fault plan or parity layout is attached
+  (see ``docs/recovery.md``).
 """
 
 from repro.safs.filesystem import SAFS, SAFSConfig
+from repro.safs.integrity import (
+    IntegrityError,
+    IntegrityMap,
+    page_checksum,
+    page_checksums,
+)
 from repro.safs.io_request import IORequest, MergedRequest, merge_requests
 from repro.safs.page import Page, SAFSFile
 from repro.safs.page_cache import PageCache, PageCacheConfig
@@ -28,6 +37,10 @@ from repro.safs.user_task import CompletedTask, UserTask
 __all__ = [
     "SAFS",
     "SAFSConfig",
+    "IntegrityError",
+    "IntegrityMap",
+    "page_checksum",
+    "page_checksums",
     "IORequest",
     "MergedRequest",
     "merge_requests",

@@ -23,6 +23,7 @@ from repro.safs.page_cache import PageCache, PageCacheConfig
 from repro.safs.user_task import CompletedTask
 from repro.sim.cost_model import DEFAULT_COST_MODEL, CostModel
 from repro.sim.faults import FaultPolicy
+from repro.sim.health import HealthMonitor, HealthPolicy
 from repro.sim.ssd_array import SSDArray, SSDArrayConfig
 from repro.sim.stats import StatsCollector
 
@@ -54,14 +55,22 @@ class SAFS:
         cost_model: Optional[CostModel] = None,
         stats: Optional[StatsCollector] = None,
         fault_policy: Optional[FaultPolicy] = None,
+        health_policy: Optional[HealthPolicy] = None,
     ) -> None:
         """``fault_policy`` governs retries, timeouts and degraded-mode
         rerouting when ``array`` carries a fault plan; the default policy
-        is inert on a fault-free array."""
+        is inert on a fault-free array.  ``health_policy`` attaches a
+        device health monitor (see :mod:`repro.sim.health`) that
+        quarantines flapping devices and declares repeat offenders
+        failed; without one, no device is ever benched."""
         self.config = config or SAFSConfig()
         self.stats = stats if stats is not None else StatsCollector()
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.array = array or SSDArray(SSDArrayConfig(), self.stats)
+        self.health: Optional[HealthMonitor] = None
+        if health_policy is not None:
+            self.health = HealthMonitor(health_policy, self.array.config.num_ssds)
+            self.array.health = self.health
         self.cache = PageCache(
             PageCacheConfig(
                 capacity_bytes=self.config.cache_bytes,
@@ -203,6 +212,9 @@ class SAFS:
         return len(self.cache) * self.config.page_size
 
     def reset_timing(self) -> None:
-        """Clear device queues and the cache for a fresh timed run."""
+        """Clear device queues, rebuilds, health history and the cache
+        for a fresh timed run."""
         self.array.reset()
+        if self.health is not None:
+            self.health.reset()
         self.cache.clear()

@@ -1,0 +1,151 @@
+"""Per-page checksums for the simulated SSD image.
+
+Commodity SSDs return bad data without an error often enough that a
+billion-node job cannot trust the device's own ECC: FlashGraph's
+production successor (Graphyti) checksums every page end to end.  This
+module is that layer for the simulation: every SAFS page of every
+registered file carries a splitmix64-derived checksum, computed once at
+registration and verified on every read that fetched pages from the
+devices.
+
+Two things are verified on a fetch:
+
+- the *actual bytes* — a real mismatch means the simulation itself broke
+  an invariant (file buffers are immutable), so it raises
+  :class:`IntegrityError` loudly rather than recovering;
+- the *injected rot* — a :class:`~repro.sim.faults.SilentCorruption`
+  event marks flash pages as rotted, which the scheduler surfaces as a
+  ``"corrupt"`` completion and recovers from via parity reconstruction
+  (:mod:`repro.sim.parity`) or, without parity, a clean abort.
+
+Checksumming is engaged only when the stack can need it (a fault plan or
+parity is attached); a bare fault-free stack skips it entirely, keeping
+the legacy hot path byte-for-byte and counter-for-counter identical.
+"""
+
+from typing import Dict, Union
+
+import numpy as np
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_LANE = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _finalize(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, vectorized over a u64 array."""
+    x = x ^ (x >> np.uint64(30))
+    x = x * _MIX1
+    x = x ^ (x >> np.uint64(27))
+    x = x * _MIX2
+    x = x ^ (x >> np.uint64(31))
+    return x
+
+
+def page_checksums(
+    data: Union[bytes, bytearray, memoryview], page_size: int
+) -> np.ndarray:
+    """One 64-bit checksum per ``page_size`` page of ``data``.
+
+    Pages are padded with zeros to a u64 boundary; each 8-byte lane is
+    weighted by a position-dependent odd multiplier before the fold so
+    that swapping two words changes the sum, then the fold is finalized
+    with splitmix64 and salted with the page's true byte length (a short
+    tail page never collides with its padded twin).
+    """
+    if page_size <= 0 or page_size % 8:
+        raise ValueError("page size must be a positive multiple of 8")
+    raw = np.frombuffer(data, dtype=np.uint8)
+    num_pages = max(1, -(-raw.size // page_size)) if raw.size else 0
+    if num_pages == 0:
+        return np.zeros(0, dtype=np.uint64)
+    padded = np.zeros(num_pages * page_size, dtype=np.uint8)
+    padded[: raw.size] = raw
+    words = padded.view("<u8").reshape(num_pages, page_size // 8)
+    lanes = (np.arange(words.shape[1], dtype=np.uint64) * _LANE) | np.uint64(1)
+    with np.errstate(over="ignore"):
+        mixed = _finalize(words * lanes)
+        folded = np.bitwise_xor.reduce(mixed, axis=1)
+        lengths = np.full(num_pages, page_size, dtype=np.uint64)
+        tail = raw.size - (num_pages - 1) * page_size
+        lengths[-1] = tail
+        return _finalize(folded ^ (lengths * _LANE))
+
+
+def page_checksum(data: Union[bytes, bytearray, memoryview]) -> int:
+    """Checksum one page's bytes (padded to the next u64 boundary)."""
+    raw = bytes(data)
+    size = max(8, -(-len(raw) // 8) * 8)
+    padded = raw + b"\x00" * (size - len(raw))
+    words = np.frombuffer(padded, dtype="<u8")
+    lanes = (np.arange(words.size, dtype=np.uint64) * _LANE) | np.uint64(1)
+    with np.errstate(over="ignore"):
+        folded = np.bitwise_xor.reduce(_finalize(words * lanes))
+        value = _finalize(
+            np.asarray(folded ^ (np.uint64(len(raw)) * _LANE), dtype=np.uint64)
+        )
+    return int(value)
+
+
+class IntegrityError(RuntimeError):
+    """The *actual* bytes of a page no longer match their checksum.
+
+    This is not an injected fault — injected rot is surfaced as a
+    ``"corrupt"`` completion and recovered.  A genuine mismatch means a
+    simulation invariant broke (file buffers are immutable), so it is
+    raised immediately instead of being retried.
+    """
+
+
+class IntegrityMap:
+    """Checksums of every SAFS page of every registered file."""
+
+    def __init__(self, page_size: int) -> None:
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+        self._sums: Dict[int, np.ndarray] = {}
+
+    def register(self, file_id: int, data: Union[bytes, memoryview]) -> None:
+        """Checksum every page of a newly registered file."""
+        if file_id in self._sums:
+            raise ValueError(f"file {file_id} already has checksums")
+        if self.page_size % 8 == 0:
+            self._sums[file_id] = page_checksums(data, self.page_size)
+        else:  # odd page sizes fall back to the scalar path, page by page
+            raw = memoryview(bytes(data))
+            pages = -(-len(raw) // self.page_size)
+            self._sums[file_id] = np.asarray(
+                [
+                    page_checksum(
+                        raw[i * self.page_size : (i + 1) * self.page_size]
+                    )
+                    for i in range(pages)
+                ],
+                dtype=np.uint64,
+            )
+
+    def covers(self, file_id: int) -> bool:
+        """Whether the file was registered with this map."""
+        return file_id in self._sums
+
+    def num_pages(self, file_id: int) -> int:
+        """Pages checksummed for ``file_id``."""
+        return int(self._sums[file_id].size)
+
+    def verify(
+        self, file_id: int, page_no: int, data: Union[bytes, memoryview]
+    ) -> None:
+        """Check one page's actual bytes against its stored checksum."""
+        expected = self._sums[file_id]
+        if not 0 <= page_no < expected.size:
+            raise IntegrityError(
+                f"file {file_id} has no checksum for page {page_no}"
+            )
+        actual = page_checksum(data)
+        if actual != int(expected[page_no]):
+            raise IntegrityError(
+                f"file {file_id} page {page_no}: checksum mismatch "
+                f"(stored {int(expected[page_no]):#018x}, read {actual:#018x})"
+            )

@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.safs.integrity import IntegrityMap
 from repro.safs.io_request import MergedRequest
 from repro.safs.page import Page, SAFSFile, flash_pages_per_safs_page
 from repro.safs.page_cache import PageCache
@@ -52,6 +53,13 @@ class IOScheduler:
         self.fault_policy = fault_policy or DEFAULT_FAULT_POLICY
         self.stats = stats if stats is not None else StatsCollector()
         self._flash_per_page = flash_pages_per_safs_page(page_size)
+        # Per-page checksums, engaged only when the stack can need them
+        # (a fault plan injecting rot, or parity reconstruction): a bare
+        # fault-free array skips checksumming entirely, keeping the
+        # legacy hot path and counter stream untouched.
+        self.integrity: Optional[IntegrityMap] = None
+        if array.fault_plan is not None or array.parity is not None:
+            self.integrity = IntegrityMap(page_size)
         # Flash-page base of each file on the array, assigned at creation.
         self._file_bases: dict = {}
         self._next_base = 0
@@ -73,7 +81,11 @@ class IOScheduler:
             raise ValueError(f"file {file.name!r} is already registered")
         self._file_bases[file.file_id] = self._next_base
         safs_pages = file.num_pages(self.page_size)
-        self._next_base += safs_pages * self._flash_per_page
+        flash_pages = safs_pages * self._flash_per_page
+        self._next_base += flash_pages
+        self.array.note_capacity(flash_pages)
+        if self.integrity is not None:
+            self.integrity.register(file.file_id, file.read(0, file.size))
 
     def is_registered(self, file: SAFSFile) -> bool:
         """Whether the file has been laid out on the array."""
@@ -104,41 +116,121 @@ class IOScheduler:
         if array.fault_plan is None:
             return array.submit(issue_time, flash_first, flash_count)
         completion = issue_time
-        for device, run_pages in array.split_extent(flash_first, flash_count):
-            done = self._fetch_run(device, run_pages, issue_time)
+        for device, run_first, run_pages in array.split_extent_runs(
+            flash_first, flash_count
+        ):
+            done = self._fetch_run(device, run_first, run_pages, issue_time)
             if done > completion:
                 completion = done
         array.count_extent(flash_count)
         return completion
 
-    def _fetch_run(self, device: int, run_pages: int, issue_time: float) -> float:
-        """One per-device run with retries, timeouts and rerouting.
+    def _record_device_error(self, device: int, time: float) -> None:
+        """Feed one device error to the health monitor, acting on trips.
+
+        A quarantine trip just benches the device (subsequent attempts
+        route around it); a failure declaration additionally starts the
+        parity rebuild onto a hot spare, exactly as a fault-plan death
+        would.
+        """
+        health = self.array.health
+        if health is None:
+            return
+        change = health.record_error(device, time)
+        if change == "quarantined":
+            self.stats.add("health.quarantines")
+        elif change == "failed":
+            self.stats.add("health.declared_failed")
+            self.array.start_rebuild(device, time)
+
+    def _fetch_run(
+        self, device: int, run_first: int, run_pages: int, issue_time: float
+    ) -> float:
+        """One per-device run with retries, reconstruction and rerouting.
 
         All waiting is charged in simulated time: a retry resubmits at
         the failure-detection time plus exponential backoff, a timed-out
-        attempt is declared lost at ``submit + timeout``, and a dead
-        device's run re-routes to the surviving replica device.  Raises
+        attempt is declared lost at ``submit + timeout``.  A *lost* run —
+        dead device, quarantined device, or a silent-corruption checksum
+        mismatch — recovers through parity reconstruction when the array
+        has a parity layout, else by rerouting to the surviving replica
+        device (dead/quarantined only; rot is persistent, so without
+        parity a rotted run burns its retries and aborts).  Raises
         :class:`UnrecoverableIOError` once the retry budget is spent.
         """
         array = self.array
         policy = self.fault_policy
         stats = self.stats
+        health = array.health
         submit_at = issue_time
         current = device
         retries = 0
         while True:
-            outcome = array.submit_run(current, submit_at, run_pages)
-            if outcome.ok:
-                if outcome.time - submit_at <= policy.request_timeout:
-                    return outcome.time
-                # The device finished the read, but past the deadline:
-                # the data is declared lost at the timeout and refetched.
-                stats.add("faults.timeouts")
-                detection = submit_at + policy.request_timeout
-                reason = "timeout"
-            elif outcome.error == "dead":
-                detection = outcome.time
-                if policy.reroute_on_dead:
+            target = array.serving_device(current, run_first, submit_at)
+            if health is not None and health.avoid(target, submit_at):
+                # The health monitor is routing around the device: the
+                # attempt is refused at zero service cost.
+                stats.add("faults.quarantined_requests")
+                detection = submit_at
+                reason = "quarantined"
+            else:
+                outcome = array.submit_run(target, submit_at, run_pages)
+                if outcome.ok:
+                    if outcome.time - submit_at > policy.request_timeout:
+                        # The device finished the read, but past the
+                        # deadline: the data is declared lost at the
+                        # timeout and refetched.
+                        stats.add("faults.timeouts")
+                        detection = submit_at + policy.request_timeout
+                        reason = "timeout"
+                    else:
+                        rotted = (
+                            array.device(target).media_rotted(
+                                run_first, run_pages, outcome.time
+                            )
+                            if target == current
+                            else 0
+                        )
+                        if not rotted:
+                            return outcome.time
+                        # The device said the data was good; the per-page
+                        # checksums say otherwise.  Service was consumed.
+                        stats.add("integrity.checksum_failures", rotted)
+                        detection = outcome.time
+                        reason = "corrupt"
+                        self._record_device_error(target, detection)
+                elif outcome.error == "dead":
+                    detection = outcome.time
+                    reason = "dead"
+                else:
+                    detection = outcome.time
+                    reason = outcome.error
+                    self._record_device_error(target, detection)
+
+            if reason in ("dead", "corrupt", "quarantined"):
+                if array.layout is not None:
+                    # Parity path: reconstruct the lost run from the
+                    # row's survivors.  A whole-device loss also starts
+                    # the background rebuild onto a hot spare.
+                    if reason == "dead":
+                        array.start_rebuild(current, detection)
+                    recovered = array.reconstruct_run(
+                        current, run_first, run_pages, detection
+                    )
+                    if recovered.ok:
+                        return recovered.time
+                    if recovered.error == "double_fault" and reason != "quarantined":
+                        # Two *permanent* losses in one parity row: the
+                        # data is gone and no amount of retrying changes
+                        # that.  (A quarantined primary still holds its
+                        # bits — that case waits out the bench below.)
+                        raise UnrecoverableIOError(
+                            current, recovered.time, "double_fault"
+                        )
+                    # A peer failed transiently (or is briefly benched):
+                    # the whole reconstruction retries with backoff.
+                    detection = recovered.time
+                elif reason != "corrupt" and policy.reroute_on_dead:
                     target = array.reroute_target(current, detection)
                     if target is not None:
                         # Degraded mode: the replica read is the recovery,
@@ -148,15 +240,23 @@ class IOScheduler:
                         current = target
                         submit_at = detection
                         continue
-                reason = "dead"
-            else:
-                detection = outcome.time
-                reason = outcome.error
             retries += 1
             if retries > policy.max_retries:
                 raise UnrecoverableIOError(current, detection, reason)
             stats.add("faults.retries")
             submit_at = detection + policy.backoff(retries)
+            if reason == "quarantined" and health is not None:
+                # Burning the whole retry budget inside the bench window
+                # would turn a temporary quarantine into a permanent
+                # failure: wait (in simulated time) for the release.
+                submit_at = max(submit_at, health.quarantine_release(current))
+
+    def _verified_page(self, file: SAFSFile, page_no: int):
+        """One page's bytes, checked against its checksum when engaged."""
+        data = file.read_page(page_no, self.page_size)
+        if self.integrity is not None:
+            self.integrity.verify(file.file_id, page_no, data)
+        return data
 
     def _rollback_inserted(self, inserted) -> None:
         """Drop pages cached by an aborted dispatch.
@@ -215,13 +315,10 @@ class IOScheduler:
                 completion = done
             pages_fetched += length
             for page_no in range(start, start + length):
-                self.cache.insert(
-                    Page(
-                        merged.file.file_id,
-                        page_no,
-                        merged.file.read_page(page_no, self.page_size),
-                    )
-                )
+                data = merged.file.read_page(page_no, self.page_size)
+                if self.integrity is not None:
+                    self.integrity.verify(merged.file.file_id, page_no, data)
+                self.cache.insert(Page(merged.file.file_id, page_no, data))
                 inserted.append((merged.file.file_id, page_no))
 
         cpu_cost += pages_fetched * self._flash_per_page * cm.cpu_per_page_transfer
@@ -278,7 +375,7 @@ class IOScheduler:
                 completion = done
             pages_fetched += length
             self.cache.insert_range(
-                Page(file.file_id, page_no, file.read_page(page_no, self.page_size))
+                Page(file.file_id, page_no, self._verified_page(file, page_no))
                 for page_no in range(start, start + length)
             )
             inserted.extend((file.file_id, page_no) for page_no in range(start, start + length))

@@ -295,6 +295,67 @@ class PageCache:
             return 0.0
         return hits / total
 
+    def export_state(self) -> Dict:
+        """Placement and recency state for checkpointing.
+
+        Captures, per set, the resident keys in recency order (the
+        OrderedDict order LRU evicts from) and — under gclock — the key
+        ring, hand position and reference bits.  Page *content* is not
+        stored: cached pages are zero-copy views of immutable file
+        images, so restore re-materialises them from the files.
+        """
+        state: Dict = {
+            "keys": {
+                index: list(cache_set.keys())
+                for index, cache_set in self._sets.items()
+                if cache_set
+            }
+        }
+        if self.config.eviction == "gclock":
+            state["rings"] = {i: list(ring) for i, ring in self._rings.items()}
+            state["hands"] = dict(self._hands)
+            state["ref_bits"] = {
+                i: dict(bits) for i, bits in self._ref_bits.items()
+            }
+        return state
+
+    def restore_state(self, state: Dict, page_provider) -> None:
+        """Reinstate :meth:`export_state` output.
+
+        ``page_provider(file_id, page_no)`` returns the page's bytes
+        (typically ``SAFSFile.read_page``).  No stats are touched — the
+        checkpoint restores the counter stream separately.
+        """
+        self.clear()
+        gclock = self.config.eviction == "gclock"
+        for index, keys in state["keys"].items():
+            index = int(index)
+            cache_set: "OrderedDict[PageKey, Page]" = OrderedDict()
+            for raw_key in keys:
+                key = (int(raw_key[0]), int(raw_key[1]))
+                if self._set_index(key) != index:
+                    raise ValueError(
+                        f"checkpointed page {key} does not hash to set {index}"
+                    )
+                cache_set[key] = Page(key[0], key[1], page_provider(*key))
+                self._resident.add(key)
+            self._sets[index] = cache_set
+            if gclock:
+                self._ref_bits[index] = {}
+                self._hands[index] = 0
+                self._rings[index] = []
+        if gclock and "rings" in state:
+            for index, ring in state["rings"].items():
+                self._rings[int(index)] = [
+                    (int(k[0]), int(k[1])) for k in ring
+                ]
+            for index, hand in state["hands"].items():
+                self._hands[int(index)] = int(hand)
+            for index, bits in state["ref_bits"].items():
+                self._ref_bits[int(index)] = {
+                    (int(k[0]), int(k[1])): bool(v) for k, v in bits.items()
+                }
+
     def clear(self) -> None:
         """Drop every cached page (stats are left alone)."""
         self._sets.clear()

@@ -22,6 +22,10 @@ Public surface:
   :class:`~repro.sim.faults.FaultPolicy` — deterministic, seeded fault
   injection for the devices and the recovery policy SAFS applies
   (see ``docs/fault_model.md``).
+- :class:`~repro.sim.parity.ParityConfig` and
+  :class:`~repro.sim.health.HealthMonitor` — rotating-parity striping
+  with spare rebuild, and error-budget device quarantine
+  (see ``docs/recovery.md``).
 """
 
 from repro.sim.clock import EventQueue, VirtualClock
@@ -32,10 +36,20 @@ from repro.sim.faults import (
     FaultPlan,
     FaultPolicy,
     LatencySpike,
+    SilentCorruption,
     StuckQueue,
     TransientErrors,
     UnrecoverableIOError,
+    default_chaos_plan,
     fault_coin,
+)
+from repro.sim.health import HealthMonitor, HealthPolicy
+from repro.sim.parity import (
+    ParityConfig,
+    ParityLayout,
+    RebuildState,
+    reconstruct_block,
+    xor_parity,
 )
 from repro.sim.ssd import SSD, SSDConfig
 from repro.sim.ssd_array import SSDArray, SSDArrayConfig
@@ -65,8 +79,17 @@ __all__ = [
     "FaultPlan",
     "FaultPolicy",
     "LatencySpike",
+    "SilentCorruption",
     "StuckQueue",
     "TransientErrors",
     "UnrecoverableIOError",
+    "default_chaos_plan",
     "fault_coin",
+    "HealthMonitor",
+    "HealthPolicy",
+    "ParityConfig",
+    "ParityLayout",
+    "RebuildState",
+    "reconstruct_block",
+    "xor_parity",
 ]

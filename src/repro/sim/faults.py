@@ -24,6 +24,12 @@ The fault taxonomy (see ``docs/fault_model.md``):
 - :class:`DeviceFailure` — the device rejects every request during
   ``[at, until)`` (whole-SSD death); SAFS re-routes reads to surviving
   devices in degraded mode.
+- :class:`SilentCorruption` — flash pages on a device rot during a
+  window (bit flips the device's own ECC misses); the data comes back
+  flagged *good* and only the SAFS integrity layer's per-page checksums
+  (``safs/integrity.py``) catch it.  Rot is persistent per page:
+  re-reading a rotted page fails again, so recovery needs parity
+  reconstruction (``sim/parity.py``), not a retry.
 """
 
 import math
@@ -114,7 +120,37 @@ class DeviceFailure:
             raise ValueError("a device failure must last a positive time")
 
 
-FaultEvent = Union[LatencySpike, StuckQueue, TransientErrors, DeviceFailure]
+@dataclass(frozen=True)
+class SilentCorruption:
+    """Flash pages on ``device`` rot with ``probability`` in ``[start, end)``.
+
+    Whether a given page is rotted is a pure function of ``(seed, device,
+    flash page number)`` — decided by :func:`fault_coin` with a dedicated
+    salt — so corruption is *persistent*: the same page reads back bad on
+    every attempt inside the window, exactly like real bit rot.  Negative
+    page numbers address parity blocks (see :mod:`repro.sim.parity`), so
+    parity itself can rot too.
+    """
+
+    device: int
+    start: float
+    end: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("a corruption probability must lie in [0, 1]")
+        if self.end <= self.start:
+            raise ValueError("a corruption window must have positive length")
+
+
+FaultEvent = Union[
+    LatencySpike, StuckQueue, TransientErrors, DeviceFailure, SilentCorruption
+]
+
+#: Salt separating the per-page corruption coin from the per-attempt
+#: transient-error coin (both draw from :func:`fault_coin`).
+_CORRUPTION_SALT = 0x5EED_0C0DE
 
 
 class FaultPlan:
@@ -134,6 +170,7 @@ class FaultPlan:
         self._stalls: Dict[int, List[StuckQueue]] = {}
         self._errors: Dict[int, List[TransientErrors]] = {}
         self._failures: Dict[int, List[DeviceFailure]] = {}
+        self._corruption: Dict[int, List[SilentCorruption]] = {}
         for event in self.events:
             if isinstance(event, LatencySpike):
                 self._spikes.setdefault(event.device, []).append(event)
@@ -143,6 +180,8 @@ class FaultPlan:
                 self._errors.setdefault(event.device, []).append(event)
             elif isinstance(event, DeviceFailure):
                 self._failures.setdefault(event.device, []).append(event)
+            elif isinstance(event, SilentCorruption):
+                self._corruption.setdefault(event.device, []).append(event)
             else:
                 raise TypeError(f"unknown fault event {event!r}")
 
@@ -193,6 +232,38 @@ class FaultPlan:
                     return True
         return False
 
+    def corrupted(self, device: int, flash_page: int, time: float) -> bool:
+        """Whether ``flash_page`` on ``device`` is rotted at ``time``.
+
+        Persistent per page within a window: the decision depends only on
+        ``(seed, device, flash_page, window)``, never on the attempt, so a
+        retry of a rotted page fails exactly like the first read did.
+        """
+        for window_index, c in enumerate(self._corruption.get(device, ())):
+            if c.start <= time < c.end and c.probability > 0.0:
+                coin = fault_coin(
+                    self.seed, device, flash_page, _CORRUPTION_SALT + window_index
+                )
+                if coin < c.probability:
+                    return True
+        return False
+
+    def corrupted_in_run(
+        self, device: int, first_page: int, num_pages: int, time: float
+    ) -> int:
+        """Rotted pages among ``[first_page, first_page + num_pages)``."""
+        if not self._corruption.get(device):
+            return 0
+        return sum(
+            1
+            for page in range(first_page, first_page + num_pages)
+            if self.corrupted(device, page, time)
+        )
+
+    def has_corruption(self, device: int) -> bool:
+        """Whether any corruption window ever targets ``device``."""
+        return bool(self._corruption.get(device))
+
     def devices(self) -> Tuple[int, ...]:
         """Every device index named by at least one event, sorted."""
         touched = (
@@ -200,6 +271,7 @@ class FaultPlan:
             | set(self._stalls)
             | set(self._errors)
             | set(self._failures)
+            | set(self._corruption)
         )
         return tuple(sorted(touched))
 
@@ -220,7 +292,9 @@ class DeviceCompletion:
     time: float
     #: Whether the data is good.
     ok: bool
-    #: ``None``, ``"transient"`` or ``"dead"``.
+    #: ``None``, ``"transient"``, ``"dead"``, ``"corrupt"`` (checksum
+    #: mismatch caught by the integrity layer) or ``"quarantined"`` (the
+    #: health monitor is routing around the device).
     error: Optional[str]
     #: Device-busy seconds this attempt charged.
     service: float
@@ -280,3 +354,35 @@ class UnrecoverableIOError(RuntimeError):
         self.device = device
         self.time = time
         self.reason = reason
+
+
+def default_chaos_plan(seed: int, num_devices: int = 15) -> FaultPlan:
+    """The standard scriptable chaos profile (``repro.cli run --fault-seed``).
+
+    One deterministic plan per seed, touching every fault class on a
+    twitter-sim-scale timescale: a flaky device (transient errors), a
+    latency-spiked device, a stuck queue, a whole-SSD death and a window
+    of silent bit rot — all on devices derived from the seed, so two runs
+    with the same seed replay the same chaos bit for bit.
+    """
+    if num_devices < 5:
+        raise ValueError("the default chaos profile needs at least 5 devices")
+    # Distinct devices per fault class, spread by successive coin draws.
+    picks: List[int] = []
+    ordinal = 0
+    while len(picks) < 5:
+        device = int(fault_coin(seed, 0, ordinal, salt=71) * num_devices)
+        ordinal += 1
+        if device not in picks:
+            picks.append(device)
+    flaky, spiked, stuck, dying, rotting = picks
+    return FaultPlan(
+        [
+            TransientErrors(device=flaky, start=0.0, end=10.0, probability=0.1),
+            LatencySpike(device=spiked, start=0.001, end=0.05, factor=4.0),
+            StuckQueue(device=stuck, start=0.0005, end=0.004),
+            DeviceFailure(device=dying, at=0.002),
+            SilentCorruption(device=rotting, start=0.0, end=10.0, probability=0.02),
+        ],
+        seed=seed,
+    )

@@ -198,6 +198,36 @@ class SSD:
             return DeviceCompletion(done, False, "transient", service, device)
         return DeviceCompletion(done, True, None, service, device)
 
+    def media_rotted(self, first_page: int, num_pages: int, time: float) -> int:
+        """Rotted flash pages among ``[first_page, first_page+num_pages)``.
+
+        The device's view of its own media: silent bit rot the drive's
+        ECC misses.  The device still reports the read as *good* — only
+        the SAFS integrity layer's per-page checksums catch the damage —
+        so this is queried by the scheduler at completion time, never by
+        :meth:`submit_request` itself.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return 0
+        return plan.corrupted_in_run(self.device_index, first_page, num_pages, time)
+
+    def export_state(self) -> dict:
+        """Every replay-relevant mutable field, for checkpointing."""
+        return {
+            "busy_until": self._busy_until,
+            "busy_time": self._busy_time,
+            "attempts": self._attempts,
+            "stall_time": self._stall_time,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate :meth:`export_state` output bit for bit."""
+        self._busy_until = float(state["busy_until"])
+        self._busy_time = float(state["busy_time"])
+        self._attempts = int(state["attempts"])
+        self._stall_time = float(state["stall_time"])
+
     def reset(self) -> None:
         """Clear all mutable per-run state (not the shared stats).
 

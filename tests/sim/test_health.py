@@ -1,0 +1,157 @@
+"""Tests for the device health monitor and quarantine-aware rerouting.
+
+Includes the regression test the issue calls out: ``reroute_target``
+must skip devices that are dead *or* benched by the health monitor —
+rerouting onto a quarantined device would defeat the quarantine.
+"""
+
+import math
+
+import pytest
+
+from repro.sim.faults import DeviceFailure, FaultPlan
+from repro.sim.health import HealthMonitor, HealthPolicy
+from repro.sim.ssd_array import SSDArray, SSDArrayConfig
+
+POLICY = HealthPolicy(
+    error_budget=3, window=0.010, quarantine=0.050, max_quarantines=3
+)
+
+
+def monitor(num_devices=4, policy=POLICY):
+    return HealthMonitor(policy, num_devices)
+
+
+class TestHealthPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(error_budget=0)
+        with pytest.raises(ValueError):
+            HealthPolicy(window=0.0)
+        with pytest.raises(ValueError):
+            HealthPolicy(quarantine=-1.0)
+        with pytest.raises(ValueError):
+            HealthPolicy(max_quarantines=0)
+
+
+class TestErrorBudget:
+    def test_budget_trips_quarantine(self):
+        mon = monitor()
+        assert mon.record_error(0, 0.001) is None
+        assert mon.record_error(0, 0.002) is None
+        assert mon.record_error(0, 0.003) == "quarantined"
+        assert mon.is_quarantined(0, 0.004)
+        assert mon.quarantine_release(0) == pytest.approx(0.003 + 0.050)
+        assert not mon.is_quarantined(0, 0.060)
+
+    def test_errors_outside_window_are_forgotten(self):
+        mon = monitor()
+        mon.record_error(0, 0.001)
+        mon.record_error(0, 0.002)
+        # 10ms later the first two have aged out: no trip.
+        assert mon.record_error(0, 0.020) is None
+        assert not mon.is_quarantined(0, 0.021)
+
+    def test_budgets_are_per_device(self):
+        mon = monitor()
+        mon.record_error(0, 0.001)
+        mon.record_error(1, 0.001)
+        mon.record_error(0, 0.002)
+        mon.record_error(1, 0.002)
+        assert mon.record_error(0, 0.003) == "quarantined"
+        assert not mon.is_quarantined(1, 0.003)
+
+    def test_repeat_offender_is_declared_failed(self):
+        mon = monitor()
+        changes = []
+        t = 0.0
+        for _ in range(9):
+            t += 0.001
+            change = mon.record_error(0, t)
+            if change:
+                changes.append(change)
+        assert changes == ["quarantined", "quarantined", "failed"]
+        assert mon.is_failed(0)
+        assert mon.trips(0) == 3
+        # Failure is permanent and further errors are ignored.
+        assert mon.record_error(0, t + 1.0) is None
+        assert mon.avoid(0, t + 100.0)
+
+    def test_out_of_range_devices_are_safe(self):
+        """Hot spares live past ``num_devices``: the monitor must never
+        bench them or crash on their indices."""
+        mon = monitor(num_devices=2)
+        assert mon.record_error(7, 0.001) is None
+        assert not mon.is_quarantined(7, 0.001)
+        assert not mon.is_failed(7)
+        assert not mon.avoid(7, 0.001)
+        assert mon.trips(7) == 0
+        assert mon.quarantine_release(7) == -math.inf
+
+
+class TestStateRoundTrip:
+    def test_export_restore(self):
+        mon = monitor()
+        for t in (0.001, 0.002, 0.003, 0.004):
+            mon.record_error(1, t)
+        mon.record_error(2, 0.005)
+        twin = monitor()
+        twin.restore_state(mon.export_state())
+        assert twin.export_state() == mon.export_state()
+        assert twin.is_quarantined(1, 0.010) == mon.is_quarantined(1, 0.010)
+
+    def test_restore_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            monitor(num_devices=4).restore_state(monitor(num_devices=2).export_state())
+
+    def test_reset(self):
+        mon = monitor()
+        for t in (0.001, 0.002, 0.003):
+            mon.record_error(0, t)
+        mon.reset()
+        assert not mon.is_quarantined(0, 0.004)
+        assert mon.trips(0) == 0
+
+
+class TestRerouteRegression:
+    """``SSDArray.reroute_target`` must skip unusable devices."""
+
+    def test_skips_dead_devices(self):
+        plan = FaultPlan([DeviceFailure(device=1, at=0.0)])
+        array = SSDArray(SSDArrayConfig(num_ssds=4), fault_plan=plan)
+        # Device 0 unavailable: the ring's next device is 1, but 1 is
+        # dead — the reroute must land on 2.
+        assert array.reroute_target(0, 0.001) == 2
+
+    def test_skips_quarantined_devices(self):
+        array = SSDArray(SSDArrayConfig(num_ssds=4))
+        array.health = monitor()
+        for t in (0.001, 0.002, 0.003):
+            array.health.record_error(1, t)
+        assert array.health.is_quarantined(1, 0.004)
+        assert array.reroute_target(0, 0.004) == 2
+        # After the quarantine lifts, device 1 serves again.
+        assert array.reroute_target(0, 0.060) == 1
+
+    def test_skips_failed_devices(self):
+        array = SSDArray(SSDArrayConfig(num_ssds=4))
+        array.health = monitor()
+        t = 0.0
+        while not array.health.is_failed(1):
+            t += 0.001
+            array.health.record_error(1, t)
+        assert array.reroute_target(0, t + 1.0) == 2
+
+    def test_no_survivor_returns_none(self):
+        plan = FaultPlan([DeviceFailure(device=d, at=0.0) for d in range(4)])
+        array = SSDArray(SSDArrayConfig(num_ssds=4), fault_plan=plan)
+        assert array.reroute_target(0, 0.001) is None
+
+    def test_combined_dead_and_quarantined(self):
+        plan = FaultPlan([DeviceFailure(device=1, at=0.0)])
+        array = SSDArray(SSDArrayConfig(num_ssds=4), fault_plan=plan)
+        array.health = monitor()
+        for t in (0.001, 0.002, 0.003):
+            array.health.record_error(2, t)
+        # 1 dead, 2 quarantined: only 3 can stand in for 0.
+        assert array.reroute_target(0, 0.004) == 3

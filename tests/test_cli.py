@@ -91,6 +91,67 @@ class TestRun:
             cli.main(["run", "--algorithm", "bfs"])
 
 
+class TestRobustnessFlags:
+    def _graph(self, tmp_path, seed=3, vertices=64):
+        path = tmp_path / "g.txt"
+        rng = np.random.default_rng(seed)
+        save_edges_text(path, rng.integers(0, vertices, size=(256, 2)), vertices)
+        return path
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        graph = self._graph(tmp_path)
+        ckpt = tmp_path / "ckpts"
+        base = [
+            "run", "--algorithm", "pr", "--edges", str(graph),
+            "--threads", "4", "--checkpoint-dir", str(ckpt),
+        ]
+        rc = cli.main(base + ["--max-iterations", "4"])
+        assert rc == 0
+        assert any(p.name.startswith("ckpt_iter_") for p in ckpt.iterdir())
+        rc = cli.main(base + ["--resume", "--max-iterations", "30"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resuming from the iteration-4 checkpoint" in out
+
+    def test_resume_needs_checkpoint_dir(self, tmp_path):
+        graph = self._graph(tmp_path)
+        with pytest.raises(SystemExit):
+            cli.main(
+                ["run", "--algorithm", "pr", "--edges", str(graph), "--resume"]
+            )
+
+    def test_fault_seed_runs_chaos(self, tmp_path, capsys):
+        graph = self._graph(tmp_path)
+        rc = cli.main(
+            [
+                "run", "--algorithm", "bfs", "--edges", str(graph),
+                "--threads", "4", "--fault-seed", "7", "--parity",
+            ]
+        )
+        assert rc == 0
+        assert "runtime_s" in capsys.readouterr().out
+
+    def test_fault_seed_needs_semi_external(self, tmp_path):
+        graph = self._graph(tmp_path)
+        with pytest.raises(SystemExit):
+            cli.main(
+                [
+                    "run", "--algorithm", "bfs", "--edges", str(graph),
+                    "--mode", "in-memory", "--fault-seed", "7",
+                ]
+            )
+
+    def test_parity_needs_semi_external(self, tmp_path):
+        graph = self._graph(tmp_path)
+        with pytest.raises(SystemExit):
+            cli.main(
+                [
+                    "run", "--algorithm", "bfs", "--edges", str(graph),
+                    "--mode", "in-memory", "--parity",
+                ]
+            )
+
+
 class TestBench:
     def test_table1(self, capsys):
         rc = cli.main(["bench", "--experiment", "table1"])
