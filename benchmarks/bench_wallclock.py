@@ -28,11 +28,23 @@ import time
 from pathlib import Path
 
 from repro.bench.datasets import load_dataset, scaled_cache_bytes
-from repro.bench.harness import make_engine, run_algorithm
+from repro.bench.harness import (
+    collect_metrics,
+    make_engine,
+    run_algorithm,
+    write_metrics_json,
+)
 from repro.core.config import ExecutionMode
+from repro.obs import arm, build_profile, validate_profile
 from repro.safs.page import SAFSFile
 
-RESULTS_FILE = Path(__file__).resolve().parent.parent / "BENCH_wallclock.json"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_FILE = _REPO_ROOT / "BENCH_wallclock.json"
+METRICS_FILE = _REPO_ROOT / "BENCH_metrics.json"
+PROFILE_FILE = _REPO_ROOT / "BENCH_profile.json"
+
+#: The suite whose per-layer profile becomes BENCH_profile.json.
+PROFILE_SUITE = ("pr@twitter-sim@sem", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL)
 
 #: (suite name, graph, app, mode).  The SEM suites exercise the full
 #: request/merge/cache/delivery stack; the MEM suites isolate the engine.
@@ -104,6 +116,38 @@ def record(section: str, rows: dict) -> None:
     print(f"recorded {len(rows)} suites under {section!r} in {RESULTS_FILE.name}")
 
 
+def record_metrics() -> None:
+    """Re-run the smoke suites with the observer armed (untimed) and
+    write ``BENCH_metrics.json`` plus the flagship suite's per-layer
+    breakdown as ``BENCH_profile.json``.
+
+    Arming never moves simulated counters (the bit-identical contract
+    checked by ``--smoke``), so the snapshots here match what the timed
+    runs saw — with latency histograms and gauge series filled in.
+    """
+    sections = {}
+    profile = None
+    for name, graph, app, mode in SMOKE_SUITES:
+        image = load_dataset(graph)
+        SAFSFile._next_id = 0
+        engine = make_engine(image, mode=mode, cache_bytes=scaled_cache_bytes(1.0))
+        observer = arm(engine) if mode is ExecutionMode.SEMI_EXTERNAL else None
+        run_algorithm(engine, app)
+        sections[name] = collect_metrics(engine, label=name)
+        if (name, graph, app, mode) == PROFILE_SUITE and observer is not None:
+            profile = build_profile(observer, label=name)
+    write_metrics_json(METRICS_FILE, sections)
+    print(f"recorded {len(sections)} metric snapshots in {METRICS_FILE.name}")
+    if profile is not None:
+        problems = validate_profile(profile)
+        if problems:
+            raise AssertionError(f"invalid profile: {problems}")
+        PROFILE_FILE.write_text(
+            json.dumps(profile, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"recorded {PROFILE_SUITE[0]} profile in {PROFILE_FILE.name}")
+
+
 def smoke_check(tolerance: float) -> int:
     if not RESULTS_FILE.exists():
         print(f"no {RESULTS_FILE.name}; run --record smoke first", file=sys.stderr)
@@ -154,6 +198,7 @@ def main() -> int:
     rows = run_suites(suites, repeats=args.repeats)
     if args.record:
         record(args.record, rows)
+        record_metrics()
     return 0
 
 

@@ -3,9 +3,13 @@
 The single entry points :func:`run_algorithm` (FlashGraph, either mode)
 and :func:`run_baseline` (comparator engines) normalise everything the
 experiments need: runtime, bytes read, memory, cache hit rate, CPU/IO
-utilisation.
+utilisation.  :func:`collect_metrics` / :func:`write_metrics_json` emit
+the machine-readable metrics snapshot (counters, histograms, gauge
+series) that rides next to ``BENCH_wallclock.json`` as
+``BENCH_metrics.json``.
 """
 
+import json
 from typing import Dict, Optional
 
 import numpy as np
@@ -149,6 +153,27 @@ def run_baseline(
         ) from None
     engine = engine_cls(image, **engine_kwargs)
     return engine.run(BASELINE_NAMES[app], source=source, max_iterations=max_iterations)
+
+
+def collect_metrics(engine: GraphEngine, label: str = "") -> Dict[str, object]:
+    """The engine's full metrics snapshot, tagged with a suite label.
+
+    Counters are always present; histogram and gauge-series sections fill
+    in when the run was traced with an armed observer (see
+    :mod:`repro.obs`).  The shape is the stable
+    ``repro.metrics/v1`` schema from
+    :meth:`~repro.sim.stats.StatsCollector.metrics_snapshot`.
+    """
+    metrics = engine.stats.metrics_snapshot()
+    metrics["label"] = label
+    return metrics
+
+
+def write_metrics_json(path, sections: Dict[str, Dict[str, object]]) -> None:
+    """Write ``{suite name -> metrics snapshot}`` as deterministic JSON."""
+    with open(path, "w") as f:
+        json.dump(sections, f, indent=2, sort_keys=True)
+        f.write("\n")
 
 
 def result_row(label: str, app: str, result: RunResult) -> Dict[str, object]:

@@ -1,18 +1,24 @@
 """Command-line tools for the FlashGraph reproduction.
 
-Three subcommands mirror a downstream user's workflow::
+Four subcommands mirror a downstream user's workflow::
 
     python -m repro.cli generate --dataset twitter-sim --out tw.npz
     python -m repro.cli run --algorithm bfs --dataset twitter-sim \
         --mode semi-external --cache-mb 1 --trace bfs.csv
     python -m repro.cli bench --experiment fig8
+    python -m repro.cli profile --algorithm pr --dataset twitter-sim \
+        --out BENCH_profile.json
 
 ``generate`` persists a scaled dataset's edge list; ``run`` executes one
 algorithm on a registered dataset or an edge-list file and prints the
-result row; ``bench`` regenerates one paper table/figure by name.
+result row; ``bench`` regenerates one paper table/figure by name;
+``profile`` runs one algorithm with the observer armed and writes a
+validated per-iteration per-layer time breakdown (see
+:mod:`repro.obs.report`).
 """
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -27,6 +33,14 @@ from repro.core.checkpoint import CheckpointManager
 from repro.core.config import ExecutionMode
 from repro.core.engine import IterationAborted
 from repro.core.tracing import IterationTracer
+from repro.obs import (
+    arm,
+    build_profile,
+    format_profile,
+    validate_profile,
+    write_chrome,
+    write_jsonl,
+)
 from repro.safs.page import SAFSFile
 from repro.sim.faults import default_chaos_plan
 from repro.sim.health import HealthPolicy
@@ -81,6 +95,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-iterations", type=int, default=30)
     run.add_argument("--trace", help="write per-iteration CSV here")
     run.add_argument(
+        "--trace-spans",
+        help="write the armed observer's span trace as JSONL here",
+    )
+    run.add_argument(
+        "--trace-chrome",
+        help="write a Chrome trace_event JSON (chrome://tracing, Perfetto)",
+    )
+    run.add_argument(
         "--fault-seed", type=int, default=None,
         help="inject the default chaos plan, seeded (semi-external only)",
     )
@@ -105,6 +127,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="regenerate one paper experiment")
     bench.add_argument("--experiment", choices=sorted(EXPERIMENTS), required=True)
+
+    prof = sub.add_parser(
+        "profile",
+        help="run one algorithm with tracing armed and write a "
+        "per-iteration per-layer time breakdown",
+    )
+    prof.add_argument("--algorithm", choices=PAPER_APPS, required=True)
+    prof.add_argument("--dataset", choices=sorted(DATASETS), required=True)
+    prof.add_argument("--cache-mb", type=float, default=1.0)
+    prof.add_argument("--threads", type=int, default=32)
+    prof.add_argument("--source", type=int, default=None)
+    prof.add_argument("--max-iterations", type=int, default=30)
+    prof.add_argument(
+        "--out", default="BENCH_profile.json",
+        help="profile JSON output path (default: %(default)s)",
+    )
+    prof.add_argument(
+        "--trace-spans", help="also write the span trace as JSONL here"
+    )
+    prof.add_argument(
+        "--trace-chrome", help="also write a Chrome trace_event JSON here"
+    )
     return parser
 
 
@@ -139,6 +183,10 @@ def cmd_run(args) -> int:
             raise SystemExit("--fault-seed needs --mode semi-external")
         if args.parity:
             raise SystemExit("--parity needs --mode semi-external")
+        if args.trace_spans or args.trace_chrome:
+            raise SystemExit(
+                "--trace-spans/--trace-chrome need --mode semi-external"
+            )
     fault_plan = None
     if args.fault_seed is not None:
         fault_plan = default_chaos_plan(args.fault_seed)
@@ -164,7 +212,21 @@ def cmd_run(args) -> int:
             raise SystemExit("--resume needs --checkpoint-dir")
         iteration = engine.resume_from(manager)
         print(f"resuming from the iteration-{iteration} checkpoint")
+    observer = None
+    if args.trace_spans or args.trace_chrome:
+        observer = arm(engine)
     tracer = IterationTracer(engine) if args.trace else None
+
+    def write_span_traces() -> None:
+        if observer is None:
+            return
+        if args.trace_spans:
+            write_jsonl(observer, args.trace_spans)
+            print(f"wrote span trace -> {args.trace_spans}")
+        if args.trace_chrome:
+            write_chrome(observer, args.trace_chrome)
+            print(f"wrote Chrome trace -> {args.trace_chrome}")
+
     try:
         if tracer:
             with tracer:
@@ -184,12 +246,24 @@ def cmd_run(args) -> int:
             f"run aborted at iteration {aborted.iteration}: {aborted.cause}",
             file=sys.stderr,
         )
+        if tracer is not None and tracer.num_iterations:
+            # The tracer's __exit__ already ran (the `with` block above
+            # propagates the abort), so its hook is gone but its records
+            # survive: salvage what completed before the abort.
+            tracer.write_csv(args.trace)
+            print(
+                f"wrote partial {tracer.num_iterations}-iteration trace "
+                f"-> {args.trace}",
+                file=sys.stderr,
+            )
+        write_span_traces()
         if manager is not None and manager.latest() is not None:
             print(
                 f"latest checkpoint: {manager.latest()} (re-run with --resume)",
                 file=sys.stderr,
             )
         return 1
+    write_span_traces()
     row = result_row(mode.value, args.algorithm, result)
     print(format_table([row], title=f"{args.algorithm} on {image.name}"))
     return 0
@@ -201,6 +275,39 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    image = load_dataset(args.dataset)
+    SAFSFile._next_id = 0
+    engine = make_engine(
+        image,
+        mode=ExecutionMode.SEMI_EXTERNAL,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+        num_threads=args.threads,
+    )
+    observer = arm(engine)
+    run_algorithm(
+        engine, args.algorithm, source=args.source,
+        max_iterations=args.max_iterations,
+    )
+    label = f"{args.algorithm}@{args.dataset}"
+    profile = build_profile(observer, label=label)
+    problems = validate_profile(profile)
+    if problems:
+        for problem in problems:
+            print(f"profile invalid: {problem}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as f:
+        json.dump(profile, f, indent=2, sort_keys=True)
+        f.write("\n")
+    if args.trace_spans:
+        write_jsonl(observer, args.trace_spans)
+    if args.trace_chrome:
+        write_chrome(observer, args.trace_chrome)
+    print(format_profile(profile))
+    print(f"wrote profile -> {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "generate":
@@ -209,6 +316,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

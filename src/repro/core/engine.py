@@ -34,6 +34,7 @@ from repro.core.messages import MessageBuffer
 from repro.core.partition import HashPartitioner, RangePartitioner, split_into_parts
 from repro.core.scheduler import make_scheduler
 from repro.core.vertex_program import GraphContext, VertexProgram
+from repro.obs import registry as reg
 from repro.graph.builder import GraphImage
 from repro.graph.format import EDGE_BYTES, HEADER_BYTES
 from repro.graph.page_vertex import PageVertex, PageVertexBatch, gather_ranges, scatter_positions
@@ -202,6 +203,9 @@ class GraphEngine:
         self._checkpoint_manager = None
         self._checkpoint_every = 0
         self._resume_state: Optional[dict] = None
+        #: Armed observer (see :mod:`repro.obs`); ``None`` keeps every
+        #: layer on the exact legacy path with zero tracing work.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -287,7 +291,7 @@ class GraphEngine:
         self._batch_msg_counts = None
         if self._messages is not None:
             self._messages.clear()
-        self.stats.add("faults.aborted_iterations")
+        self.stats.add(reg.FAULTS_ABORTED_ITERATIONS)
         barrier = max((w.time for w in self._workers), default=0.0)
         barrier = max(barrier, cause.time)
         busy = sum(w.busy for w in self._workers)
@@ -498,7 +502,12 @@ class GraphEngine:
         for worker, queue in zip(self._workers, queues):
             worker.queue = scheduler.schedule(queue, self.iteration)
             worker.pos = 0
-        self.stats.add("engine.active_vertices", frontier.size)
+        self.stats.add(reg.ENGINE_ACTIVE_VERTICES, frontier.size)
+        obs = self.obs
+        if obs is not None:
+            obs.begin_iteration(
+                self.iteration, int(frontier.size), start, self._workers
+            )
 
         # A batch is atomic in the simulation, so cap it at a quarter of
         # the thread's queue: real FlashGraph steals at vertex granularity
@@ -524,9 +533,9 @@ class GraphEngine:
                 )
                 if stolen.size == 0:
                     break
-                self.stats.add("engine.stolen_vertices", stolen.size)
+                self.stats.add(reg.ENGINE_STOLEN_VERTICES, stolen.size)
                 if self.numa.is_remote(worker.index, victim.index):
-                    self.stats.add("numa.remote_steals", stolen.size)
+                    self.stats.add(reg.NUMA_REMOTE_STEALS, stolen.size)
                 self._process_batch(
                     worker, stolen, stolen=True, victim=victim.index
                 )
@@ -540,6 +549,8 @@ class GraphEngine:
         barrier = max(w.time for w in self._workers) + self.cost_model.iteration_barrier
         for worker in self._workers:
             worker.time = barrier
+        if obs is not None:
+            obs.end_iteration(barrier, self._workers, self)
 
     def _pick_worker(self) -> Optional[_Worker]:
         work_exists = any(w.remaining for w in self._workers) or self._part_queue
@@ -606,7 +617,7 @@ class GraphEngine:
     ) -> None:
         self._current = worker
         self._pending_requests.append((requester, targets, direction, with_attrs))
-        self.stats.add("engine.vertex_parts")
+        self.stats.add(reg.ENGINE_VERTEX_PARTS)
         self._service_request_waves(worker)
 
     def _service_request_waves(self, worker: _Worker) -> None:
@@ -690,7 +701,7 @@ class GraphEngine:
                 requests, worker.time, fs_merge=self.config.merge_in_fs
             )
         self._charge(cpu)
-        self.stats.add("engine.io_requests", len(requests))
+        self.stats.add(reg.ENGINE_IO_REQUESTS, len(requests))
         pending_pairs: Dict[Tuple[int, EdgeType, int], Dict[str, memoryview]] = {}
         for done in completions:
             if done.completion_time > worker.time:
@@ -781,9 +792,10 @@ class GraphEngine:
         elem_vertex = np.repeat(vertices, nd)
 
         spans = merge_request_arrays(file_ids, offsets, sizes, self.safs.page_size)
+        issued_at = worker.time
         span_done, cpu = self.safs.submit_spans(spans, files, worker.time)
         self._charge(cpu)
-        self.stats.add("engine.io_requests", num_elems)
+        self.stats.add(reg.ENGINE_IO_REQUESTS, num_elems)
 
         # Stable completion-time sort of the constituent elements — the
         # array form of ``completions.sort`` over the per-part tasks.
@@ -791,6 +803,23 @@ class GraphEngine:
         by_completion = np.argsort(part_done, kind="stable")
         deliver = spans.order[by_completion]
         times = part_done[by_completion]
+
+        obs = self.obs
+        if obs is not None and obs.last_io_ids is not None:
+            # Link each delivered element to the merged span that served
+            # it — the fast-path twin of the per-part request events.
+            io_ids = np.asarray(obs.last_io_ids, dtype=np.int64)[
+                spans.span_of_part
+            ][by_completion]
+            codes_delivered = dir_code[deliver]
+            obs.request_events_batch(
+                elem_vertex[deliver].tolist(),
+                [directions[c] for c in codes_delivered.tolist()],
+                io_ids.tolist(),
+                issued_at,
+                times.tolist(),
+            )
+            obs.last_io_ids = None
 
         degrees = (sizes[deliver] - HEADER_BYTES) // EDGE_BYTES
         codes = dir_code[deliver]
@@ -869,7 +898,7 @@ class GraphEngine:
             b += charge
         worker.time = t
         worker.busy = b
-        self.stats.add("engine.edges_delivered", batch.total_edges)
+        self.stats.add(reg.ENGINE_EDGES_DELIVERED, batch.total_edges)
 
     def _words_of(self, file) -> np.ndarray:
         words = self._file_words.get(file.file_id)
@@ -913,7 +942,7 @@ class GraphEngine:
         self.program.run_on_vertex(self._ctx, int(requester), view)
         edges = view.num_edges + self._extra_edge_charge
         self._charge(cm.cpu_per_vertex_run + edges * edge_rate)
-        self.stats.add("engine.edges_delivered", view.num_edges)
+        self.stats.add(reg.ENGINE_EDGES_DELIVERED, view.num_edges)
 
     def _deliver_messages(self) -> None:
         dests, values, counts = self._messages.deliver()
@@ -953,9 +982,9 @@ class GraphEngine:
                 # buffer space, not the per-message processing (§3.4.1).
                 self._charge(count * per_message)
                 self.program.run_on_message(self._ctx, int(dest), float(value))
-        self.stats.add("msg.delivered", int(counts.sum()))
+        self.stats.add(reg.MSG_DELIVERED, int(counts.sum()))
         self.stats.add(
-            "numa.remote_message_share",
+            reg.NUMA_REMOTE_MESSAGE_SHARE,
             0.0 if self.numa.num_sockets == 1 else counts.sum() * (1.0 - 1.0 / self.numa.num_sockets),
         )
 
@@ -982,7 +1011,7 @@ class GraphEngine:
         activated = dests[act]
         if activated.size:
             self._activations.append(activated)
-            self.stats.add("msg.activations", activated.size)
+            self.stats.add(reg.MSG_ACTIVATIONS, activated.size)
         rate = self.cost_model.cpu_per_multicast_recipient
         charges: Dict[int, float] = {}
         act_list = act.tolist()
@@ -1056,17 +1085,17 @@ class GraphEngine:
         self._batch_msg_counts = counts
         total = self._messages.send(dests, values)
         if total:
-            self.stats.add("msg.sent", total)
+            self.stats.add(reg.MSG_SENT, total)
 
     def _buffer_activation(self, vertices: np.ndarray) -> None:
         self._activations.append(vertices)
         self._charge(vertices.size * self.cost_model.cpu_per_multicast_recipient)
-        self.stats.add("msg.activations", vertices.size)
+        self.stats.add(reg.MSG_ACTIVATIONS, vertices.size)
 
     def _buffer_message(self, dests: np.ndarray, values) -> None:
         count = self._messages.send(dests, values)
         self._charge(count * self.cost_model.cpu_per_multicast_recipient)
-        self.stats.add("msg.sent", count)
+        self.stats.add(reg.MSG_SENT, count)
 
     def _request_iteration_end(self) -> None:
         self._iteration_end_requested = True

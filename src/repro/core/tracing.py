@@ -74,7 +74,11 @@ class IterationTracer:
     def __exit__(self, exc_type, exc, tb) -> None:
         # Remove the instance attribute so the class method shows through
         # again (assigning the bound method back would shadow it forever).
-        del self.engine._run_iteration
+        # pop() instead of del: the hook must be restored no matter how
+        # the traced run ended — an aborted run (IterationAborted under
+        # faults), a double __exit__, or an __exit__ without __enter__
+        # must never leave a stale hook or raise a masking AttributeError.
+        self.engine.__dict__.pop("_run_iteration", None)
         self._original = None
 
     @property

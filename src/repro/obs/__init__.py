@@ -1,0 +1,49 @@
+"""Observability for the FlashGraph reproduction: span tracing, a
+metrics registry, and a simulated-time profiler.
+
+All claims in the source paper are where-did-the-time-go claims, so this
+package makes the DES substrate explain itself: :func:`arm` threads an
+:class:`Observer` through every layer (engine, SAFS, scheduler, array,
+devices), collecting request/io/device spans with stage events in
+deterministic simulated time; :mod:`repro.obs.registry` is the single
+source of truth for counter, histogram and gauge names; and
+:mod:`repro.obs.report` turns a traced run into a per-iteration
+compute/queue/service/recovery breakdown (the ``repro profile``
+subcommand).  Tracing is zero-cost when disarmed — every hook hides
+behind one ``obs is not None`` check and the counter stream stays
+bit-identical to an untraced run.
+"""
+
+from repro.obs import registry
+from repro.obs.report import (
+    PROFILE_SCHEMA,
+    TICK_SECONDS,
+    build_profile,
+    format_profile,
+    validate_profile,
+)
+from repro.obs.spans import (
+    Observer,
+    arm,
+    disarm,
+    to_chrome,
+    to_jsonl,
+    write_chrome,
+    write_jsonl,
+)
+
+__all__ = [
+    "Observer",
+    "PROFILE_SCHEMA",
+    "TICK_SECONDS",
+    "arm",
+    "build_profile",
+    "disarm",
+    "format_profile",
+    "registry",
+    "to_chrome",
+    "to_jsonl",
+    "validate_profile",
+    "write_chrome",
+    "write_jsonl",
+]

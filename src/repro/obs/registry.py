@@ -1,0 +1,151 @@
+"""The metrics registry: every counter, histogram and gauge name.
+
+Counter names used to be ad-hoc dotted strings scattered across ``sim/``
+and ``safs/``; a typo'd name silently created a new counter and the
+report downstream read zeros.  This module is the single source of truth:
+production code references these constants, and the registry tests assert
+that every counter a run produces is a member of :data:`KNOWN_COUNTERS`,
+so an unknown name fails fast.
+
+The module is deliberately dependency-free (pure constants) so any layer
+— ``sim``, ``safs``, ``core`` — can import it without cycles.
+
+Namespaces
+----------
+
+- ``engine.*`` — vertex execution (frontier, delivered edges, steals),
+- ``io.*``     — SAFS request scheduling and merging,
+- ``cache.*``  — the set-associative page cache,
+- ``ssd.*`` / ``array.*`` — the device model and the striped array,
+- ``msg.*`` / ``numa.*``  — message passing and NUMA accounting,
+- ``faults.*`` / ``health.*`` / ``integrity.*`` / ``parity.*`` /
+  ``scrub.*`` / ``write.*`` — the fault-injection and durability layers.
+"""
+
+# --- engine.* -----------------------------------------------------------
+ENGINE_ACTIVE_VERTICES = "engine.active_vertices"
+ENGINE_EDGES_DELIVERED = "engine.edges_delivered"
+ENGINE_IO_REQUESTS = "engine.io_requests"
+ENGINE_STOLEN_VERTICES = "engine.stolen_vertices"
+ENGINE_VERTEX_PARTS = "engine.vertex_parts"
+
+# --- io.* ---------------------------------------------------------------
+IO_REQUESTS_ISSUED = "io.requests_issued"
+IO_CPU_ISSUE_TIME = "io.cpu_issue_time"
+IO_DISPATCHED = "io.dispatched"
+IO_PAGES_REQUESTED = "io.pages_requested"
+IO_PAGES_FETCHED = "io.pages_fetched"
+IO_FULL_HITS = "io.full_hits"
+IO_SIZE_1_PAGE = "io.size_1_page"
+IO_SIZE_2_8_PAGES = "io.size_2_8_pages"
+IO_SIZE_9_64_PAGES = "io.size_9_64_pages"
+IO_SIZE_65PLUS_PAGES = "io.size_65plus_pages"
+
+# --- cache.* ------------------------------------------------------------
+CACHE_HITS = "cache.hits"
+CACHE_MISSES = "cache.misses"
+CACHE_INSERTIONS = "cache.insertions"
+CACHE_EVICTIONS = "cache.evictions"
+CACHE_INVALIDATIONS = "cache.invalidations"
+
+# --- ssd.* / array.* ----------------------------------------------------
+SSD_REQUESTS = "ssd.requests"
+SSD_PAGES_READ = "ssd.pages_read"
+SSD_BYTES_READ = "ssd.bytes_read"
+ARRAY_REQUESTS = "array.requests"
+ARRAY_PAGES_READ = "array.pages_read"
+ARRAY_BYTES_READ = "array.bytes_read"
+
+# --- msg.* / numa.* -----------------------------------------------------
+MSG_SENT = "msg.sent"
+MSG_DELIVERED = "msg.delivered"
+MSG_ACTIVATIONS = "msg.activations"
+NUMA_REMOTE_STEALS = "numa.remote_steals"
+NUMA_REMOTE_MESSAGE_SHARE = "numa.remote_message_share"
+
+# --- faults.* -----------------------------------------------------------
+FAULTS_ABORTED_ITERATIONS = "faults.aborted_iterations"
+FAULTS_DEAD_REQUESTS = "faults.dead_requests"
+FAULTS_INVALIDATED_PAGES = "faults.invalidated_pages"
+FAULTS_QUARANTINED_REQUESTS = "faults.quarantined_requests"
+FAULTS_REROUTED_PAGES = "faults.rerouted_pages"
+FAULTS_REROUTED_REQUESTS = "faults.rerouted_requests"
+FAULTS_RETRIES = "faults.retries"
+FAULTS_SPIKED_REQUESTS = "faults.spiked_requests"
+FAULTS_STALL_TIME = "faults.stall_time"
+FAULTS_STALLED_REQUESTS = "faults.stalled_requests"
+FAULTS_TIMEOUTS = "faults.timeouts"
+FAULTS_TRANSIENT_ERRORS = "faults.transient_errors"
+
+# --- health.* / integrity.* / parity.* / scrub.* / write.* --------------
+HEALTH_QUARANTINES = "health.quarantines"
+HEALTH_DECLARED_FAILED = "health.declared_failed"
+INTEGRITY_CHECKSUM_FAILURES = "integrity.checksum_failures"
+PARITY_DOUBLE_FAULTS = "parity.double_faults"
+PARITY_PAGES_RECONSTRUCTED = "parity.pages_reconstructed"
+PARITY_PEER_READS = "parity.peer_reads"
+PARITY_PEER_UNAVAILABLE = "parity.peer_unavailable"
+PARITY_RECONSTRUCTIONS = "parity.reconstructions"
+SCRUB_REBUILDS_STARTED = "scrub.rebuilds_started"
+SCRUB_PAGES_READ = "scrub.pages_read"
+SCRUB_PAGES_WRITTEN = "scrub.pages_written"
+WRITE_BYTES = "write.bytes"
+WRITE_HOST_PAGES = "write.host_pages"
+WRITE_FLASH_PAGES_PROGRAMMED = "write.flash_pages_programmed"
+WRITE_SECONDS = "write.seconds"
+
+#: Every counter name the stack may legitimately touch.
+KNOWN_COUNTERS = frozenset(
+    value
+    for key, value in list(globals().items())
+    if key.isupper() and isinstance(value, str) and "." in value
+)
+
+# --- histograms ---------------------------------------------------------
+#: Per-device service latency (seconds); one histogram per device, named
+#: ``ssd.service_seconds.<device name>``.
+HIST_SSD_SERVICE_SECONDS = "ssd.service_seconds"
+#: Requests already outstanding on the device queue at arrival.
+HIST_SSD_QUEUE_DEPTH = "ssd.queue_depth"
+#: Constituent requests folded into one merged request (§3.6).
+HIST_IO_MERGE_RUN_LENGTH = "io.merge_run_length"
+#: Retries spent before a per-device run completed.
+HIST_IO_RETRIES_PER_REQUEST = "io.retries_per_request"
+
+#: Fixed ascending bucket upper bounds per histogram family; a value
+#: above the last bound lands in the overflow bucket.
+HISTOGRAM_BOUNDS = {
+    HIST_SSD_SERVICE_SECONDS: (
+        2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 5e-3, 2e-2,
+    ),
+    HIST_SSD_QUEUE_DEPTH: (0, 1, 2, 4, 8, 16, 32, 64),
+    HIST_IO_MERGE_RUN_LENGTH: (1, 2, 4, 8, 16, 32, 64, 128),
+    HIST_IO_RETRIES_PER_REQUEST: (0, 1, 2, 3, 4, 8),
+}
+
+# --- gauges (time series sampled at iteration barriers) -----------------
+GAUGE_FRONTIER_SIZE = "engine.frontier_size"
+GAUGE_CACHE_OCCUPANCY = "cache.occupancy_pages"
+GAUGE_IN_FLIGHT = "io.in_flight_requests"
+
+KNOWN_GAUGES = frozenset(
+    {GAUGE_FRONTIER_SIZE, GAUGE_CACHE_OCCUPANCY, GAUGE_IN_FLIGHT}
+)
+
+
+def histogram_bounds(name: str):
+    """Bucket bounds for histogram ``name``.
+
+    Per-device histograms are named ``<family>.<device>``; the family's
+    bounds apply.  Raises ``KeyError`` for a name outside the registry —
+    the fail-fast behaviour the registry exists for.
+    """
+    if name in HISTOGRAM_BOUNDS:
+        return HISTOGRAM_BOUNDS[name]
+    family = name.rsplit(".", 1)[0]
+    return HISTOGRAM_BOUNDS[family]
+
+
+def unknown_counters(names) -> list:
+    """The subset of ``names`` not in :data:`KNOWN_COUNTERS`, sorted."""
+    return sorted(set(names) - KNOWN_COUNTERS)

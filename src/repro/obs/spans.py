@@ -1,0 +1,491 @@
+"""Span tracing across every layer of the stack, in simulated time.
+
+An :class:`Observer` is *armed* onto an engine with :func:`arm`: every
+layer (engine, SAFS, scheduler, array, devices) carries an ``obs``
+attribute that defaults to ``None`` and is consulted behind a single
+``is not None`` check, so a disarmed run does no observability work at
+all and its counter stream stays bit-identical to the seed.
+
+Armed, the stack reports three kinds of spans:
+
+- **request spans** — one per engine-level I/O element (a vertex's edge
+  list or attribute read), linked to the merged I/O span that carried it;
+- **io spans** — one per merged request dispatched through SAFS, with
+  stage events accumulated as the request flows (``cache_lookup``,
+  ``retried``, ``rerouted``, ``reconstructed``, ``timeout``, ``corrupt``,
+  ``quarantined``, ``dead``, ``transient``);
+- **device spans** — one per device attempt, carrying exact queue wait
+  and service time; per device, service durations tile the device's
+  accumulated busy time.
+
+Everything is deterministic: ids are sequence numbers, times are
+simulated floats, and exports sort keys — two runs of the same seeded
+simulation produce byte-identical traces.
+
+Exports: :func:`to_jsonl` (one JSON object per line) and
+:func:`to_chrome` (Chrome ``trace_event`` JSON loadable in
+``chrome://tracing`` / Perfetto, one track per device and stack layer).
+"""
+
+import json
+from heapq import heappop, heappush
+from typing import Dict, List, Optional
+
+from repro.obs import registry
+
+#: Microseconds per simulated second (Chrome trace timestamps are µs).
+_US = 1e6
+
+#: Chrome thread ids: engine iterations, SAFS io spans, then devices.
+_TID_ENGINE = 1
+_TID_SAFS = 2
+_TID_DEVICE_BASE = 100
+
+
+def _jsonable(value):
+    """Coerce enum-ish context members to plain JSON scalars."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    inner = getattr(value, "value", None)
+    if isinstance(inner, (int, float, str)):
+        return inner
+    return repr(value)
+
+
+class Observer:
+    """Collects spans, stage events and metrics from an armed stack.
+
+    Purely additive: it reads simulated state but never mutates clocks,
+    queues or counters, so an armed run's :class:`RunResult` is
+    bit-identical to a disarmed one.
+    """
+
+    def __init__(self) -> None:
+        #: One row per iteration (wall span, busy deltas, stall weights).
+        self.iterations: List[dict] = []
+        #: One record per merged request dispatched through SAFS.
+        self.io_spans: List[dict] = []
+        #: One record per device attempt (queue wait + service).
+        self.device_spans: List[dict] = []
+        #: One record per engine-level request element.
+        self.request_spans: List[dict] = []
+        #: Stats collector fed with histograms/gauges (set by :func:`arm`).
+        self.stats = None
+        #: Io-span ids of the last ``submit_spans`` call, for the engine
+        #: fast path to link elements to their merged span.
+        self.last_io_ids: Optional[List[int]] = None
+        self._iter: Optional[dict] = None
+        self._io: Optional[dict] = None
+        self._next_io = 0
+        self._recovery_depth = 0
+        # Per-device min-heap of service completion times: queue depth at
+        # arrival is the number of earlier attempts still in the queue.
+        self._outstanding: Dict[int, list] = {}
+        self._busy_base: List[float] = []
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+
+    def begin_iteration(self, iteration: int, frontier: int, start: float, workers) -> None:
+        self._iter = {
+            "type": "iteration",
+            "iteration": int(iteration),
+            "frontier": int(frontier),
+            "start": start,
+            "end": start,
+            "workers": len(workers),
+            "busy_sum": 0.0,
+            "queue_s": 0.0,
+            "service_s": 0.0,
+            "recovery_s": 0.0,
+        }
+        self._busy_base = [w.busy for w in workers]
+        self.iterations.append(self._iter)
+
+    def end_iteration(self, barrier: float, workers, engine) -> None:
+        row = self._iter
+        if row is None:
+            return
+        row["end"] = barrier
+        row["busy_sum"] = sum(
+            w.busy - b for w, b in zip(workers, self._busy_base)
+        )
+        stats = self.stats
+        if stats is not None:
+            stats.sample(registry.GAUGE_FRONTIER_SIZE, barrier, row["frontier"])
+            if engine.safs is not None:
+                stats.sample(
+                    registry.GAUGE_CACHE_OCCUPANCY, barrier, len(engine.safs.cache)
+                )
+            in_flight = 0
+            for heap in self._outstanding.values():
+                in_flight += sum(1 for done in heap if done > barrier)
+            stats.sample(registry.GAUGE_IN_FLIGHT, barrier, in_flight)
+        self._iter = None
+
+    # ------------------------------------------------------------------
+    # SAFS hooks (filesystem + scheduler)
+    # ------------------------------------------------------------------
+
+    def begin_io(
+        self, file_id: int, first_page: int, last_page: int, parts: int, issue: float
+    ) -> int:
+        span_id = self._next_io
+        self._next_io += 1
+        self._io = {
+            "type": "io",
+            "id": span_id,
+            "file_id": int(file_id),
+            "first_page": int(first_page),
+            "last_page": int(last_page),
+            "parts": int(parts),
+            "issue": issue,
+            "done": issue,
+            "events": [["issued", issue]],
+        }
+        self.io_spans.append(self._io)
+        if self.stats is not None:
+            self.stats.observe(
+                registry.HIST_IO_MERGE_RUN_LENGTH,
+                parts,
+                registry.HISTOGRAM_BOUNDS[registry.HIST_IO_MERGE_RUN_LENGTH],
+            )
+        return span_id
+
+    def end_io(self, done: float) -> None:
+        io = self._io
+        if io is None:
+            return
+        io["done"] = done
+        io["events"].append(["completed", done])
+        self._io = None
+
+    def io_event(self, stage: str, time: float, **fields) -> None:
+        """Attach one stage event to the in-flight io span."""
+        io = self._io
+        if io is None:
+            return
+        event = [stage, time]
+        if fields:
+            event.append({k: _jsonable(v) for k, v in sorted(fields.items())})
+        io["events"].append(event)
+
+    def run_done(self, retries: int) -> None:
+        """A per-device run completed after ``retries`` retries."""
+        if self.stats is not None:
+            self.stats.observe(
+                registry.HIST_IO_RETRIES_PER_REQUEST,
+                retries,
+                registry.HISTOGRAM_BOUNDS[registry.HIST_IO_RETRIES_PER_REQUEST],
+            )
+
+    def recovery_wait(self, seconds: float) -> None:
+        """Simulated seconds spent waiting on backoff/quarantine release."""
+        if self._iter is not None and seconds > 0.0:
+            self._iter["recovery_s"] += seconds
+
+    def recovery_begin(self) -> None:
+        """Enter a recovery section: device work is charged as recovery."""
+        self._recovery_depth += 1
+
+    def recovery_end(self) -> None:
+        self._recovery_depth -= 1
+
+    def request_event(self, context, issued: float, done: float, io_id: int) -> None:
+        """One engine-level request element completed."""
+        record = {
+            "type": "request",
+            "io": int(io_id),
+            "issued": issued,
+            "done": done,
+        }
+        if isinstance(context, tuple) and len(context) == 4:
+            requester, direction, kind, target = context
+            record["vertex"] = _jsonable(requester)
+            record["direction"] = _jsonable(direction)
+            record["kind"] = _jsonable(kind)
+            record["target"] = _jsonable(target)
+        elif context is not None:
+            record["context"] = [_jsonable(c) for c in context] if isinstance(
+                context, (tuple, list)
+            ) else _jsonable(context)
+        self.request_spans.append(record)
+
+    def request_events_batch(
+        self, vertices, directions, io_ids, issued: float, times
+    ) -> None:
+        """Vectorized twin of :meth:`request_event` for the fast path.
+
+        ``vertices``/``directions``/``io_ids``/``times`` are parallel
+        sequences in delivery order; the fast path serves only
+        self-requests for edges, so vertex == target and kind is fixed.
+        """
+        append = self.request_spans.append
+        for vertex, direction, io_id, done in zip(
+            vertices, directions, io_ids, times
+        ):
+            append(
+                {
+                    "type": "request",
+                    "io": int(io_id),
+                    "issued": issued,
+                    "done": float(done),
+                    "vertex": int(vertex),
+                    "direction": _jsonable(direction),
+                    "kind": "edges",
+                    "target": int(vertex),
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Device hooks
+    # ------------------------------------------------------------------
+
+    def device_span(
+        self,
+        ssd,
+        arrival: float,
+        start: float,
+        service: float,
+        pages: int,
+        outcome: str,
+        done: float,
+    ) -> None:
+        """One device attempt: queued at ``arrival``, served
+        ``[start, start + service)``, data delivered at ``done``."""
+        device = ssd.device_index
+        heap = self._outstanding.setdefault(device, [])
+        while heap and heap[0] <= arrival:
+            heappop(heap)
+        depth = len(heap)
+        heappush(heap, start + service)
+        recovery = self._recovery_depth > 0
+        self.device_spans.append(
+            {
+                "type": "device",
+                "device": device,
+                "name": ssd.name,
+                "io": None if self._io is None else self._io["id"],
+                "arrival": arrival,
+                "start": start,
+                "service": service,
+                "pages": int(pages),
+                "outcome": outcome,
+                "done": done,
+                "recovery": recovery,
+            }
+        )
+        row = self._iter
+        if row is not None:
+            row["queue_s"] += start - arrival
+            if recovery:
+                row["recovery_s"] += service
+            else:
+                row["service_s"] += service
+        stats = self.stats
+        if stats is not None:
+            stats.observe(
+                f"{registry.HIST_SSD_SERVICE_SECONDS}.{ssd.name}",
+                service,
+                registry.HISTOGRAM_BOUNDS[registry.HIST_SSD_SERVICE_SECONDS],
+            )
+            stats.observe(
+                registry.HIST_SSD_QUEUE_DEPTH,
+                depth,
+                registry.HISTOGRAM_BOUNDS[registry.HIST_SSD_QUEUE_DEPTH],
+            )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def device_busy_seconds(self) -> Dict[str, float]:
+        """Per-device sum of traced service durations.
+
+        By construction each device span charges exactly the service the
+        DES charged the device, so this equals each device's
+        ``busy_time`` — the acceptance anchor the trace tests pin.
+        """
+        busy: Dict[str, float] = {}
+        for span in self.device_spans:
+            busy[span["name"]] = busy.get(span["name"], 0.0) + span["service"]
+        return busy
+
+
+# ----------------------------------------------------------------------
+# Arming / disarming
+# ----------------------------------------------------------------------
+
+def arm(engine, observer: Optional[Observer] = None) -> Observer:
+    """Attach ``observer`` (or a fresh one) to every layer of ``engine``.
+
+    Idempotent; returns the armed observer.  In-memory engines have no
+    SAFS stack — only the engine-level hooks arm.
+    """
+    obs = observer if observer is not None else Observer()
+    obs.stats = engine.stats
+    obs._engine = engine
+    engine.obs = obs
+    safs = getattr(engine, "safs", None)
+    if safs is not None:
+        safs.obs = obs
+        safs.scheduler.obs = obs
+        array = safs.array
+        array.obs = obs
+        for ssd in array.ssds:
+            ssd.obs = obs
+        for spare in array.spares:
+            spare.obs = obs
+    return obs
+
+
+def disarm(engine) -> None:
+    """Detach any observer from every layer of ``engine``."""
+    engine.obs = None
+    safs = getattr(engine, "safs", None)
+    if safs is not None:
+        safs.obs = None
+        safs.scheduler.obs = None
+        safs.array.obs = None
+        for ssd in safs.array.ssds:
+            ssd.obs = None
+        for spare in safs.array.spares:
+            spare.obs = None
+
+
+# ----------------------------------------------------------------------
+# Exports
+# ----------------------------------------------------------------------
+
+def _records(observer: Observer):
+    for row in observer.iterations:
+        yield row
+    for span in observer.io_spans:
+        yield span
+    for span in observer.device_spans:
+        yield span
+    for span in observer.request_spans:
+        yield span
+
+
+def to_jsonl(observer: Observer) -> str:
+    """The full trace as JSON Lines (one record per line, sorted keys)."""
+    return "".join(
+        json.dumps(record, sort_keys=True) + "\n" for record in _records(observer)
+    )
+
+
+def write_jsonl(observer: Observer, path) -> None:
+    """Write :func:`to_jsonl` to ``path``."""
+    with open(path, "w") as f:
+        f.write(to_jsonl(observer))
+
+
+def to_chrome(observer: Observer) -> dict:
+    """The trace as a Chrome ``trace_event`` document.
+
+    Load in ``chrome://tracing`` or https://ui.perfetto.dev.  Tracks:
+    ``engine`` (iteration spans + gauge counters), ``safs`` (merged
+    request spans), and one track per device (service spans whose
+    durations tile the device's busy time).  Timestamps are µs.
+    """
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": _TID_ENGINE,
+            "name": "thread_name",
+            "args": {"name": "engine"},
+        },
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": _TID_SAFS,
+            "name": "thread_name",
+            "args": {"name": "safs"},
+        },
+    ]
+    named_devices = set()
+    for row in observer.iterations:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": _TID_ENGINE,
+                "cat": "engine",
+                "name": f"iteration {row['iteration']}",
+                "ts": row["start"] * _US,
+                "dur": (row["end"] - row["start"]) * _US,
+                "args": {
+                    "frontier": row["frontier"],
+                    "busy_sum_s": row["busy_sum"],
+                },
+            }
+        )
+        events.append(
+            {
+                "ph": "C",
+                "pid": 0,
+                "tid": _TID_ENGINE,
+                "name": "frontier",
+                "ts": row["start"] * _US,
+                "args": {"vertices": row["frontier"]},
+            }
+        )
+    for span in observer.io_spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": _TID_SAFS,
+                "cat": "io",
+                "name": f"io {span['id']}",
+                "ts": span["issue"] * _US,
+                "dur": (span["done"] - span["issue"]) * _US,
+                "args": {
+                    "file_id": span["file_id"],
+                    "pages": span["last_page"] - span["first_page"] + 1,
+                    "parts": span["parts"],
+                    "events": span["events"],
+                },
+            }
+        )
+    for span in observer.device_spans:
+        tid = _TID_DEVICE_BASE + span["device"]
+        if span["device"] not in named_devices:
+            named_devices.add(span["device"])
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": span["name"]},
+                }
+            )
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "cat": "device",
+                "name": "recovery" if span["recovery"] else f"io {span['io']}",
+                "ts": span["start"] * _US,
+                "dur": span["service"] * _US,
+                "args": {
+                    "pages": span["pages"],
+                    "outcome": span["outcome"],
+                    "queue_us": (span["start"] - span["arrival"]) * _US,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(observer: Observer, path) -> None:
+    """Write :func:`to_chrome` to ``path`` as sorted-key JSON."""
+    with open(path, "w") as f:
+        json.dump(to_chrome(observer), f, sort_keys=True)
+        f.write("\n")

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs import registry as reg
 from repro.safs.io_request import IORequest, MergedRequest, MergedSpans, merge_requests
 from repro.safs.io_scheduler import IOScheduler
 from repro.safs.page import DEFAULT_PAGE_SIZE, SAFSFile
@@ -65,6 +66,8 @@ class SAFS:
         failed; without one, no device is ever benched."""
         self.config = config or SAFSConfig()
         self.stats = stats if stats is not None else StatsCollector()
+        #: Armed observer (see :mod:`repro.obs`); ``None`` = no tracing.
+        self.obs = None
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.array = array or SSDArray(SSDArrayConfig(), self.stats)
         self.health: Optional[HealthMonitor] = None
@@ -132,19 +135,30 @@ class SAFS:
         """
         cursor = issue_time
         total_cpu = 0.0
+        obs = self.obs
         completions: List[CompletedTask] = []
         for request in merged:
+            if obs is not None:
+                io_id = obs.begin_io(
+                    request.file.file_id, request.first_page,
+                    request.last_page, len(request.parts), cursor,
+                )
+            issued_at = cursor
             done, cpu, full_hit = self.scheduler.dispatch(request, cursor)
             cursor += cpu
             total_cpu += cpu
             if done < cursor:
                 done = cursor
+            if obs is not None:
+                obs.end_io(done)
             for part in request.parts:
                 data = part.file.read(part.offset, part.length)
                 completions.append(CompletedTask(part, data, done, cache_hit=full_hit))
+                if obs is not None:
+                    obs.request_event(part.task.context, issued_at, done, io_id)
         completions.sort(key=lambda c: c.completion_time)
-        self.stats.add("io.requests_issued", len(merged))
-        self.stats.add("io.cpu_issue_time", total_cpu)
+        self.stats.add(reg.IO_REQUESTS_ISSUED, len(merged))
+        self.stats.add(reg.IO_CPU_ISSUE_TIME, total_cpu)
         return completions, total_cpu
 
     def submit_spans(
@@ -164,19 +178,32 @@ class SAFS:
         """
         cursor = issue_time
         total_cpu = 0.0
+        obs = self.obs
+        part_counts = None
+        if obs is not None:
+            part_counts = np.bincount(
+                spans.span_of_part, minlength=spans.num_spans
+            ).tolist()
+            obs.last_io_ids = []
         completions = np.empty(spans.num_spans)
         dispatch_span = self.scheduler.dispatch_span
         for i, (fid, first, last) in enumerate(
             zip(spans.file_ids.tolist(), spans.first_pages.tolist(), spans.last_pages.tolist())
         ):
+            if obs is not None:
+                obs.last_io_ids.append(
+                    obs.begin_io(fid, first, last, part_counts[i], cursor)
+                )
             done, cpu, _ = dispatch_span(files[fid], first, last, cursor)
             cursor += cpu
             total_cpu += cpu
             if done < cursor:
                 done = cursor
+            if obs is not None:
+                obs.end_io(done)
             completions[i] = done
-        self.stats.add("io.requests_issued", spans.num_spans)
-        self.stats.add("io.cpu_issue_time", total_cpu)
+        self.stats.add(reg.IO_REQUESTS_ISSUED, spans.num_spans)
+        self.stats.add(reg.IO_CPU_ISSUE_TIME, total_cpu)
         return completions, total_cpu
 
     def submit(
@@ -204,7 +231,7 @@ class SAFS:
         )
         completions, cpu = self.submit_merged(merged, issue_time + extra_cpu)
         total_cpu = cpu + extra_cpu
-        self.stats.add("io.cpu_issue_time", extra_cpu)
+        self.stats.add(reg.IO_CPU_ISSUE_TIME, extra_cpu)
         return completions, total_cpu
 
     def cached_bytes(self) -> int:

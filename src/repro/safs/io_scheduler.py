@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import registry as reg
 from repro.safs.integrity import IntegrityMap
 from repro.safs.io_request import MergedRequest
 from repro.safs.page import Page, SAFSFile, flash_pages_per_safs_page
@@ -52,6 +53,8 @@ class IOScheduler:
         self.page_size = page_size
         self.fault_policy = fault_policy or DEFAULT_FAULT_POLICY
         self.stats = stats if stats is not None else StatsCollector()
+        #: Armed observer (see :mod:`repro.obs`); ``None`` = no tracing.
+        self.obs = None
         self._flash_per_page = flash_pages_per_safs_page(page_size)
         # Per-page checksums, engaged only when the stack can need them
         # (a fault plan injecting rot, or parity reconstruction): a bare
@@ -138,9 +141,9 @@ class IOScheduler:
             return
         change = health.record_error(device, time)
         if change == "quarantined":
-            self.stats.add("health.quarantines")
+            self.stats.add(reg.HEALTH_QUARANTINES)
         elif change == "failed":
-            self.stats.add("health.declared_failed")
+            self.stats.add(reg.HEALTH_DECLARED_FAILED)
             self.array.start_rebuild(device, time)
 
     def _fetch_run(
@@ -161,6 +164,7 @@ class IOScheduler:
         array = self.array
         policy = self.fault_policy
         stats = self.stats
+        obs = self.obs
         health = array.health
         submit_at = issue_time
         current = device
@@ -170,9 +174,11 @@ class IOScheduler:
             if health is not None and health.avoid(target, submit_at):
                 # The health monitor is routing around the device: the
                 # attempt is refused at zero service cost.
-                stats.add("faults.quarantined_requests")
+                stats.add(reg.FAULTS_QUARANTINED_REQUESTS)
                 detection = submit_at
                 reason = "quarantined"
+                if obs is not None:
+                    obs.io_event("quarantined", detection, device=target)
             else:
                 outcome = array.submit_run(target, submit_at, run_pages)
                 if outcome.ok:
@@ -180,9 +186,11 @@ class IOScheduler:
                         # The device finished the read, but past the
                         # deadline: the data is declared lost at the
                         # timeout and refetched.
-                        stats.add("faults.timeouts")
+                        stats.add(reg.FAULTS_TIMEOUTS)
                         detection = submit_at + policy.request_timeout
                         reason = "timeout"
+                        if obs is not None:
+                            obs.io_event("timeout", detection, device=target)
                     else:
                         rotted = (
                             array.device(target).media_rotted(
@@ -192,19 +200,29 @@ class IOScheduler:
                             else 0
                         )
                         if not rotted:
+                            if obs is not None:
+                                obs.run_done(retries)
                             return outcome.time
                         # The device said the data was good; the per-page
                         # checksums say otherwise.  Service was consumed.
-                        stats.add("integrity.checksum_failures", rotted)
+                        stats.add(reg.INTEGRITY_CHECKSUM_FAILURES, rotted)
                         detection = outcome.time
                         reason = "corrupt"
+                        if obs is not None:
+                            obs.io_event(
+                                "corrupt", detection, device=target, pages=rotted
+                            )
                         self._record_device_error(target, detection)
                 elif outcome.error == "dead":
                     detection = outcome.time
                     reason = "dead"
+                    if obs is not None:
+                        obs.io_event("dead", detection, device=target)
                 else:
                     detection = outcome.time
                     reason = outcome.error
+                    if obs is not None:
+                        obs.io_event(reason, detection, device=target)
                     self._record_device_error(target, detection)
 
             if reason in ("dead", "corrupt", "quarantined"):
@@ -218,6 +236,8 @@ class IOScheduler:
                         current, run_first, run_pages, detection
                     )
                     if recovered.ok:
+                        if obs is not None:
+                            obs.run_done(retries)
                         return recovered.time
                     if recovered.error == "double_fault" and reason != "quarantined":
                         # Two *permanent* losses in one parity row: the
@@ -235,21 +255,31 @@ class IOScheduler:
                     if target is not None:
                         # Degraded mode: the replica read is the recovery,
                         # not a retry, so it spends no retry budget.
-                        stats.add("faults.rerouted_requests")
-                        stats.add("faults.rerouted_pages", run_pages)
+                        stats.add(reg.FAULTS_REROUTED_REQUESTS)
+                        stats.add(reg.FAULTS_REROUTED_PAGES, run_pages)
+                        if obs is not None:
+                            obs.io_event(
+                                "rerouted", detection,
+                                device=current, target=target,
+                            )
                         current = target
                         submit_at = detection
                         continue
             retries += 1
             if retries > policy.max_retries:
                 raise UnrecoverableIOError(current, detection, reason)
-            stats.add("faults.retries")
+            stats.add(reg.FAULTS_RETRIES)
             submit_at = detection + policy.backoff(retries)
             if reason == "quarantined" and health is not None:
                 # Burning the whole retry budget inside the bench window
                 # would turn a temporary quarantine into a permanent
                 # failure: wait (in simulated time) for the release.
                 submit_at = max(submit_at, health.quarantine_release(current))
+            if obs is not None:
+                obs.io_event(
+                    "retried", submit_at, device=current, attempt=retries
+                )
+                obs.recovery_wait(submit_at - detection)
 
     def _verified_page(self, file: SAFSFile, page_no: int):
         """One page's bytes, checked against its checksum when engaged."""
@@ -270,7 +300,7 @@ class IOScheduler:
             if self.cache.invalidate(file_id, page_no):
                 dropped += 1
         if dropped:
-            self.stats.add("faults.invalidated_pages", dropped)
+            self.stats.add(reg.FAULTS_INVALIDATED_PAGES, dropped)
 
     def dispatch(self, merged: MergedRequest, issue_time: float) -> Tuple[float, float, bool]:
         """Service one merged request issued at ``issue_time``.
@@ -302,6 +332,12 @@ class IOScheduler:
                 run_start = None
         if run_start is not None:
             spans.append((run_start, merged.last_page + 1 - run_start))
+        if self.obs is not None:
+            self.obs.io_event(
+                "cache_lookup", issue_time,
+                pages=merged.num_pages,
+                misses=sum(length for _, length in spans),
+            )
 
         inserted: List[Tuple[int, int]] = []
         for start, length in spans:
@@ -362,6 +398,12 @@ class IOScheduler:
             runs = [
                 (first_page + int(s), int(e - s)) for s, e in zip(starts, ends)
             ]
+        if self.obs is not None:
+            self.obs.io_event(
+                "cache_lookup", issue_time,
+                pages=num_pages,
+                misses=sum(length for _, length in runs),
+            )
 
         inserted: List[Tuple[int, int]] = []
         for start, length in runs:
@@ -389,15 +431,15 @@ class IOScheduler:
         # Request-size histogram: §3.6 — issued requests range from one
         # page to many megabytes depending on how well merging worked.
         if pages == 1:
-            self.stats.add("io.size_1_page")
+            self.stats.add(reg.IO_SIZE_1_PAGE)
         elif pages <= 8:
-            self.stats.add("io.size_2_8_pages")
+            self.stats.add(reg.IO_SIZE_2_8_PAGES)
         elif pages <= 64:
-            self.stats.add("io.size_9_64_pages")
+            self.stats.add(reg.IO_SIZE_9_64_PAGES)
         else:
-            self.stats.add("io.size_65plus_pages")
-        self.stats.add("io.dispatched")
-        self.stats.add("io.pages_requested", pages)
-        self.stats.add("io.pages_fetched", pages_fetched)
+            self.stats.add(reg.IO_SIZE_65PLUS_PAGES)
+        self.stats.add(reg.IO_DISPATCHED)
+        self.stats.add(reg.IO_PAGES_REQUESTED, pages)
+        self.stats.add(reg.IO_PAGES_FETCHED, pages_fetched)
         if full_hit:
-            self.stats.add("io.full_hits")
+            self.stats.add(reg.IO_FULL_HITS)

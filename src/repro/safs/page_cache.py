@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.obs import registry as reg
 from repro.safs.page import DEFAULT_PAGE_SIZE, Page
 from repro.sim.stats import StatsCollector
 
@@ -112,7 +113,7 @@ class PageCache:
         """
         key = (file_id, page_no)
         if key not in self._resident:
-            self.stats.add("cache.misses")
+            self.stats.add(reg.CACHE_MISSES)
             return None
         index = self._set_index(key)
         cache_set = self._sets[index]
@@ -120,7 +121,7 @@ class PageCache:
             cache_set.move_to_end(key)
         else:
             self._ref_bits[index][key] = True
-        self.stats.add("cache.hits")
+        self.stats.add(reg.CACHE_HITS)
         return cache_set[key]
 
     def lookup_range(self, file_id: int, first_page: int, last_page: int) -> np.ndarray:
@@ -147,9 +148,9 @@ class PageCache:
                 else:
                     self._ref_bits[index][key] = True
         if hits:
-            self.stats.add("cache.hits", hits)
+            self.stats.add(reg.CACHE_HITS, hits)
         if n - hits:
-            self.stats.add("cache.misses", n - hits)
+            self.stats.add(reg.CACHE_MISSES, n - hits)
         return hit_mask
 
     def page(self, file_id: int, page_no: int) -> Page:
@@ -186,9 +187,9 @@ class PageCache:
             if inserted:
                 insertions += 1
         if evictions:
-            self.stats.add("cache.evictions", evictions)
+            self.stats.add(reg.CACHE_EVICTIONS, evictions)
         if insertions:
-            self.stats.add("cache.insertions", insertions)
+            self.stats.add(reg.CACHE_INSERTIONS, insertions)
         return evictions
 
     def _insert_one(
@@ -220,7 +221,7 @@ class PageCache:
                 evicted = self._gclock_evict(index, cache_set)
             self._resident.discard(evicted)
             if count_stats:
-                self.stats.add("cache.evictions")
+                self.stats.add(reg.CACHE_EVICTIONS)
         cache_set[key] = page
         self._resident.add(key)
         if self.config.eviction == "gclock":
@@ -229,7 +230,7 @@ class PageCache:
             self._ref_bits[index][key] = False
             self._rings[index].append(key)
         if count_stats:
-            self.stats.add("cache.insertions")
+            self.stats.add(reg.CACHE_INSERTIONS)
         return evicted, True
 
     def _gclock_evict(self, index: int, cache_set) -> PageKey:
@@ -281,7 +282,7 @@ class PageCache:
                 hand %= len(ring)
             self._hands[index] = 0 if not ring else hand
             self._ref_bits[index].pop(key, None)
-        self.stats.add("cache.invalidations")
+        self.stats.add(reg.CACHE_INVALIDATIONS)
         return True
 
     def __len__(self) -> int:
@@ -289,8 +290,8 @@ class PageCache:
 
     def hit_rate(self) -> float:
         """Hits over lookups so far, 0.0 before any lookup."""
-        hits = self.stats.get("cache.hits")
-        total = hits + self.stats.get("cache.misses")
+        hits = self.stats.get(reg.CACHE_HITS)
+        total = hits + self.stats.get(reg.CACHE_MISSES)
         if total == 0:
             return 0.0
         return hits / total

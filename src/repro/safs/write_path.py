@@ -14,6 +14,7 @@ counter so tests can assert the engine never writes during computation.
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.obs import registry as reg
 from repro.sim.ssd import FLASH_PAGE_SIZE
 from repro.sim.ssd_array import SSDArray
 from repro.sim.stats import StatsCollector
@@ -67,10 +68,10 @@ class GraphLoader:
         seconds = self.write_time(total_bytes)
         host_pages = (total_bytes + FLASH_PAGE_SIZE - 1) // FLASH_PAGE_SIZE
         programmed = int(host_pages * self.model.write_amplification)
-        self.stats.add("write.bytes", total_bytes)
-        self.stats.add("write.host_pages", host_pages)
-        self.stats.add("write.flash_pages_programmed", programmed)
-        self.stats.add("write.seconds", seconds)
+        self.stats.add(reg.WRITE_BYTES, total_bytes)
+        self.stats.add(reg.WRITE_HOST_PAGES, host_pages)
+        self.stats.add(reg.WRITE_FLASH_PAGES_PROGRAMMED, programmed)
+        self.stats.add(reg.WRITE_SECONDS, seconds)
         return seconds, programmed
 
     def wear_fraction(self) -> float:
@@ -81,10 +82,10 @@ class GraphLoader:
         (a loader only ever writes each image once, so this is the
         conservative per-image wear).
         """
-        programmed = self.stats.get("write.flash_pages_programmed")
+        programmed = self.stats.get(reg.WRITE_FLASH_PAGES_PROGRAMMED)
         if programmed == 0:
             return 0.0
-        host_pages = self.stats.get("write.host_pages")
+        host_pages = self.stats.get(reg.WRITE_HOST_PAGES)
         # Each page location endures `endurance_cycles` programs; writing
         # a page once consumes 1/endurance of that location's life.
         return programmed / (host_pages * self.model.endurance_cycles)

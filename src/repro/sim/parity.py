@@ -41,6 +41,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import registry as reg
 from repro.sim.stats import StatsCollector
 
 
@@ -247,8 +248,8 @@ class RebuildState:
         if delta <= 0:
             return
         self._charged_pages = done
-        stats.add("scrub.pages_written", delta)
-        stats.add("scrub.pages_read", delta * self.peer_reads_per_page)
+        stats.add(reg.SCRUB_PAGES_WRITTEN, delta)
+        stats.add(reg.SCRUB_PAGES_READ, delta * self.peer_reads_per_page)
 
     def export_state(self) -> Dict:
         """Every field needed to resume the rebuild bit-identically."""

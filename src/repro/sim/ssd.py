@@ -20,6 +20,7 @@ The model is a single FIFO server with pipelined completion latency:
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs import registry as reg
 from repro.sim.faults import DeviceCompletion, FaultPlan
 from repro.sim.stats import StatsCollector
 
@@ -86,6 +87,9 @@ class SSD:
         self.name = name
         self.fault_plan = fault_plan
         self.device_index = device_index
+        #: Armed observer (see :mod:`repro.obs`); ``None`` keeps the
+        #: device on the exact legacy fast path.
+        self.obs = None
         self._busy_until = 0.0
         self._busy_time = 0.0
         # Monotone attempt ordinal: seeds the deterministic fault coin, so
@@ -158,11 +162,16 @@ class SSD:
             start = max(arrival_time, self._busy_until)
             self._busy_until = start + service
             self._busy_time += service
-            self.stats.add("ssd.requests")
-            self.stats.add("ssd.pages_read", num_pages)
-            self.stats.add("ssd.bytes_read", num_pages * FLASH_PAGE_SIZE)
+            self.stats.add(reg.SSD_REQUESTS)
+            self.stats.add(reg.SSD_PAGES_READ, num_pages)
+            self.stats.add(reg.SSD_BYTES_READ, num_pages * FLASH_PAGE_SIZE)
+            done = self._busy_until + self.config.read_latency
+            if self.obs is not None:
+                self.obs.device_span(
+                    self, arrival_time, start, service, num_pages, "ok", done
+                )
             return DeviceCompletion(
-                self._busy_until + self.config.read_latency,
+                done,
                 True,
                 None,
                 service,
@@ -171,14 +180,19 @@ class SSD:
 
         device = self.device_index
         if plan.is_dead(device, arrival_time):
-            self.stats.add("faults.dead_requests")
+            self.stats.add(reg.FAULTS_DEAD_REQUESTS)
+            if self.obs is not None:
+                self.obs.device_span(
+                    self, arrival_time, arrival_time, 0.0, num_pages,
+                    "dead", arrival_time,
+                )
             return DeviceCompletion(arrival_time, False, "dead", 0.0, device)
         effective_arrival = plan.stall_release(device, arrival_time)
         if effective_arrival > arrival_time:
             stalled = effective_arrival - arrival_time
             self._stall_time += stalled
-            self.stats.add("faults.stalled_requests")
-            self.stats.add("faults.stall_time", stalled)
+            self.stats.add(reg.FAULTS_STALLED_REQUESTS)
+            self.stats.add(reg.FAULTS_STALL_TIME, stalled)
         self._attempts += 1
         ordinal = self._attempts
         service = self.service_time(num_pages)
@@ -186,16 +200,25 @@ class SSD:
         factor = plan.service_factor(device, start)
         if factor != 1.0:
             service *= factor
-            self.stats.add("faults.spiked_requests")
+            self.stats.add(reg.FAULTS_SPIKED_REQUESTS)
         self._busy_until = start + service
         self._busy_time += service
-        self.stats.add("ssd.requests")
-        self.stats.add("ssd.pages_read", num_pages)
-        self.stats.add("ssd.bytes_read", num_pages * FLASH_PAGE_SIZE)
+        self.stats.add(reg.SSD_REQUESTS)
+        self.stats.add(reg.SSD_PAGES_READ, num_pages)
+        self.stats.add(reg.SSD_BYTES_READ, num_pages * FLASH_PAGE_SIZE)
         done = self._busy_until + self.config.read_latency
         if plan.read_error(device, ordinal, start):
-            self.stats.add("faults.transient_errors")
+            self.stats.add(reg.FAULTS_TRANSIENT_ERRORS)
+            if self.obs is not None:
+                self.obs.device_span(
+                    self, arrival_time, start, service, num_pages,
+                    "transient", done,
+                )
             return DeviceCompletion(done, False, "transient", service, device)
+        if self.obs is not None:
+            self.obs.device_span(
+                self, arrival_time, start, service, num_pages, "ok", done
+            )
         return DeviceCompletion(done, True, None, service, device)
 
     def media_rotted(self, first_page: int, num_pages: int, time: float) -> int:

@@ -18,6 +18,7 @@ historical array bit for bit.
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import registry as reg
 from repro.sim.faults import DeviceCompletion, FaultPlan
 from repro.sim.health import HealthMonitor
 from repro.sim.parity import ParityConfig, ParityLayout, RebuildState
@@ -66,6 +67,8 @@ class SSDArray:
         opts the array into rotating-parity placement with hot spares
         (see :mod:`repro.sim.parity`)."""
         self.config = config or SSDArrayConfig()
+        #: Armed observer (see :mod:`repro.obs`); ``None`` = no tracing.
+        self.obs = None
         if self.config.num_ssds <= 0:
             raise ValueError("an SSD array needs at least one device")
         if self.config.stripe_pages <= 0:
@@ -179,9 +182,9 @@ class SSDArray:
             done = self._ssds[device].submit(arrival_time, run_pages)
             if done > completion:
                 completion = done
-        self.stats.add("array.requests")
-        self.stats.add("array.pages_read", num_pages)
-        self.stats.add("array.bytes_read", num_pages * FLASH_PAGE_SIZE)
+        self.stats.add(reg.ARRAY_REQUESTS)
+        self.stats.add(reg.ARRAY_PAGES_READ, num_pages)
+        self.stats.add(reg.ARRAY_BYTES_READ, num_pages * FLASH_PAGE_SIZE)
         return completion
 
     def submit_run(
@@ -203,9 +206,9 @@ class SSDArray:
         can drive runs individually while keeping the counter stream
         identical to the happy path.
         """
-        self.stats.add("array.requests")
-        self.stats.add("array.pages_read", num_pages)
-        self.stats.add("array.bytes_read", num_pages * FLASH_PAGE_SIZE)
+        self.stats.add(reg.ARRAY_REQUESTS)
+        self.stats.add(reg.ARRAY_PAGES_READ, num_pages)
+        self.stats.add(reg.ARRAY_BYTES_READ, num_pages * FLASH_PAGE_SIZE)
 
     # ------------------------------------------------------------------
     # Degraded mode: reroute, parity reconstruction, rebuild
@@ -283,7 +286,7 @@ class SSDArray:
             peer_reads_per_page=self.config.num_ssds - 1,
         )
         self._rebuilds[device] = rebuild
-        self.stats.add("scrub.rebuilds_started")
+        self.stats.add(reg.SCRUB_REBUILDS_STARTED)
         return rebuild
 
     def serving_device(self, device: int, first_page: int, time: float) -> int:
@@ -324,6 +327,30 @@ class SSDArray:
         - ``error="transient"`` — a peer read failed transiently; the
           whole reconstruction is retryable with backoff.
         """
+        obs = self.obs
+        if obs is None:
+            return self._reconstruct_run(device, first_page, num_pages, time)
+        # Peer reads issued inside the section are traced as recovery
+        # work, and the outcome lands on the in-flight io span.
+        obs.recovery_begin()
+        try:
+            outcome = self._reconstruct_run(device, first_page, num_pages, time)
+        finally:
+            obs.recovery_end()
+        if outcome.ok:
+            obs.io_event(
+                "reconstructed", outcome.time, device=device, pages=num_pages
+            )
+        else:
+            obs.io_event(
+                "reconstruction_failed", outcome.time,
+                device=device, error=outcome.error,
+            )
+        return outcome
+
+    def _reconstruct_run(
+        self, device: int, first_page: int, num_pages: int, time: float
+    ) -> DeviceCompletion:
         layout = self.layout
         if layout is None:
             raise RuntimeError("reconstruction requires a parity layout")
@@ -337,23 +364,23 @@ class SSDArray:
             if health is not None and health.avoid(target, time):
                 # A sick peer is temporarily unusable: the row cannot be
                 # reconstructed right now, but may be after the window.
-                self.stats.add("parity.peer_unavailable")
+                self.stats.add(reg.PARITY_PEER_UNAVAILABLE)
                 return DeviceCompletion(time, False, "transient", 0.0, device)
             if plan is not None and target == peer:
                 # Media checks apply to the peer's own flash; a rebuilt
                 # spare serves fresh copies, so it skips them.
                 if plan.is_dead(target, time):
-                    self.stats.add("parity.double_faults")
+                    self.stats.add(reg.PARITY_DOUBLE_FAULTS)
                     return DeviceCompletion(time, False, "double_fault", 0.0, device)
                 if plan.corrupted_in_run(peer, peer_first, peer_pages, time):
                     # Rot is persistent — a rotted peer block makes this
                     # row's loss permanent, not retryable.
-                    self.stats.add("parity.double_faults")
+                    self.stats.add(reg.PARITY_DOUBLE_FAULTS)
                     return DeviceCompletion(time, False, "double_fault", 0.0, device)
             outcome = self.device(target).submit_request(time, peer_pages)
             if not outcome.ok:
                 if outcome.error == "dead":
-                    self.stats.add("parity.double_faults")
+                    self.stats.add(reg.PARITY_DOUBLE_FAULTS)
                     return DeviceCompletion(
                         outcome.time, False, "double_fault", 0.0, device
                     )
@@ -362,9 +389,9 @@ class SSDArray:
                 )
             if outcome.time > completion:
                 completion = outcome.time
-        self.stats.add("parity.reconstructions")
-        self.stats.add("parity.peer_reads", len(peers))
-        self.stats.add("parity.pages_reconstructed", num_pages)
+        self.stats.add(reg.PARITY_RECONSTRUCTIONS)
+        self.stats.add(reg.PARITY_PEER_READS, len(peers))
+        self.stats.add(reg.PARITY_PAGES_RECONSTRUCTED, num_pages)
         return DeviceCompletion(completion, True, None, 0.0, device)
 
     # ------------------------------------------------------------------

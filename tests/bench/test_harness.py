@@ -8,11 +8,13 @@ import pytest
 from repro.bench.harness import (
     BASELINE_ENGINES,
     PAPER_APPS,
+    collect_metrics,
     default_source,
     make_engine,
     result_row,
     run_algorithm,
     run_baseline,
+    write_metrics_json,
 )
 from repro.bench.reporting import format_table, format_value, human_bytes
 from repro.core.config import ExecutionMode
@@ -82,6 +84,42 @@ class TestResultRow:
         assert row["system"] == "FG-1G"
         assert row["runtime_s"] == result.runtime
         assert row["read_MB"] == result.bytes_read / 1e6
+
+
+class TestCollectMetrics:
+    def test_snapshot_shape_and_label(self, small_image):
+        from repro.sim.stats import METRICS_SCHEMA
+
+        engine = make_engine(small_image)
+        run_algorithm(engine, "pr", max_iterations=3)
+        metrics = collect_metrics(engine, label="pr@harness")
+        assert metrics["schema"] == METRICS_SCHEMA
+        assert metrics["label"] == "pr@harness"
+        assert metrics["counters"]["io.requests_issued"] > 0
+        # Disarmed run: histograms/series only fill when tracing is armed.
+        assert metrics["histograms"] == {}
+
+    def test_armed_run_fills_histograms(self, small_image):
+        from repro.obs import arm, registry
+
+        engine = make_engine(small_image)
+        arm(engine)
+        run_algorithm(engine, "pr", max_iterations=3)
+        metrics = collect_metrics(engine)
+        assert registry.HIST_IO_MERGE_RUN_LENGTH in metrics["histograms"]
+        assert registry.GAUGE_FRONTIER_SIZE in metrics["series"]
+
+    def test_write_metrics_json_is_deterministic(self, small_image, tmp_path):
+        import json
+
+        engine = make_engine(small_image)
+        run_algorithm(engine, "pr", max_iterations=3)
+        sections = {"suite": collect_metrics(engine, label="suite")}
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_metrics_json(a, sections)
+        write_metrics_json(b, json.loads(a.read_text()))
+        assert a.read_text() == b.read_text()
+        assert json.loads(a.read_text())["suite"]["label"] == "suite"
 
 
 class TestReporting:

@@ -3,10 +3,16 @@
 import csv
 
 import numpy as np
+import pytest
 
 from repro.algorithms.bfs import bfs
 from repro.algorithms.pagerank import pagerank
+from repro.core.config import EngineConfig, ExecutionMode
+from repro.core.engine import GraphEngine, IterationAborted
 from repro.core.tracing import IterationTracer
+from repro.safs.filesystem import SAFS, SAFSConfig
+from repro.sim.faults import DeviceFailure, FaultPlan
+from repro.sim.ssd_array import SSDArray, SSDArrayConfig
 
 from tests.conftest import engine_for
 
@@ -52,6 +58,54 @@ class TestIterationTracer:
         with tracer:
             # The hook shadows the class method via an instance attribute.
             assert "_run_iteration" in engine.__dict__
+        assert "_run_iteration" not in engine.__dict__
+
+    def test_hook_restored_when_traced_run_raises(self, rmat_image):
+        # Regression: __exit__ must pop the hook even when the body
+        # raises — a stale hook would silently re-trace (and append to
+        # a dead tracer) on every later run of the engine.
+        engine = engine_for(rmat_image)
+        tracer = IterationTracer(engine)
+        with pytest.raises(ZeroDivisionError):
+            with tracer:
+                bfs(engine, 0)
+                raise ZeroDivisionError
+        assert "_run_iteration" not in engine.__dict__
+        records_after_exit = tracer.num_iterations
+        bfs(engine, 0)  # untraced: must not grow the tracer
+        assert tracer.num_iterations == records_after_exit
+
+    def test_hook_restored_after_fault_aborted_run(self, rmat_image):
+        # The realistic raiser: every device fails at t=0, so the first
+        # semi-external iteration aborts with IterationAborted from
+        # inside the traced hook.
+        array = SSDArray(
+            SSDArrayConfig(),
+            fault_plan=FaultPlan(
+                [DeviceFailure(device=d, at=0.0) for d in range(15)], seed=1
+            ),
+        )
+        safs = SAFS(array, SAFSConfig(cache_bytes=1 << 20), stats=array.stats)
+        engine = GraphEngine(
+            rmat_image,
+            safs=safs,
+            config=EngineConfig(
+                mode=ExecutionMode.SEMI_EXTERNAL, num_threads=4, range_shift=5
+            ),
+        )
+        tracer = IterationTracer(engine)
+        with pytest.raises(IterationAborted):
+            with tracer:
+                bfs(engine, 0)
+        assert "_run_iteration" not in engine.__dict__
+
+    def test_exit_is_idempotent(self, rmat_image):
+        engine = engine_for(rmat_image)
+        tracer = IterationTracer(engine)
+        with tracer:
+            bfs(engine, 0)
+        tracer.__exit__(None, None, None)  # double exit: no error
+        IterationTracer(engine).__exit__(None, None, None)  # exit sans enter
         assert "_run_iteration" not in engine.__dict__
 
     def test_csv_roundtrip(self, rmat_image, tmp_path):

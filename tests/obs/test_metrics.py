@@ -1,0 +1,96 @@
+"""Histogram / gauge-series extensions of :class:`StatsCollector`.
+
+The contract: the new stores are *separate* from the counter dict, so
+``snapshot()``/``diff()`` — the surface every golden and equivalence
+test pins — are untouched by observations, and ``metrics_snapshot()``
+exports all three sections under a stable schema.
+"""
+
+import pytest
+
+from repro.obs import registry
+from repro.sim.stats import METRICS_SCHEMA, Histogram, StatsCollector
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 3.0, 100.0):
+            h.observe(v)
+        # Buckets: <=1, <=2, <=4, overflow.
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.total == pytest.approx(108.0)
+
+    def test_mean_min_max(self):
+        h = Histogram((10.0,))
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == pytest.approx(3.0)
+        assert h.min == 2.0
+        assert h.max == 4.0
+
+    def test_empty_summary(self):
+        h = Histogram((1.0,))
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["min"] is None and s["max"] is None
+
+    def test_summary_roundtrips_bounds(self):
+        bounds = registry.HISTOGRAM_BOUNDS[registry.HIST_SSD_QUEUE_DEPTH]
+        h = Histogram(bounds)
+        h.observe(3)
+        s = h.summary()
+        assert tuple(s["bounds"]) == tuple(bounds)
+        assert sum(s["counts"]) == 1
+
+
+class TestStatsCollectorMetrics:
+    def test_observe_requires_bounds_first(self):
+        stats = StatsCollector()
+        with pytest.raises(ValueError):
+            stats.observe("x.latency", 1.0)
+
+    def test_observe_rejects_conflicting_bounds(self):
+        stats = StatsCollector()
+        stats.observe("x.latency", 1.0, bounds=(1.0, 2.0))
+        stats.observe("x.latency", 1.5)  # bounds now known
+        with pytest.raises(ValueError):
+            stats.observe("x.latency", 1.0, bounds=(5.0,))
+
+    def test_observations_do_not_touch_counters(self):
+        stats = StatsCollector()
+        stats.add("io.requests", 3)
+        before = stats.snapshot()
+        stats.observe("x.latency", 1.0, bounds=(1.0,))
+        stats.sample("x.gauge", 0.5, 7)
+        assert stats.snapshot() == before
+        assert stats.diff(before) == {}
+
+    def test_series_records_time_value_pairs(self):
+        stats = StatsCollector()
+        stats.sample("g", 0.0, 1)
+        stats.sample("g", 1.0, 2)
+        assert stats.series("g") == [(0.0, 1), (1.0, 2)]
+
+    def test_metrics_snapshot_schema(self):
+        stats = StatsCollector()
+        stats.add("io.requests", 2)
+        stats.observe("x.latency", 1.0, bounds=(1.0, 2.0))
+        stats.sample("g", 0.0, 1)
+        snap = stats.metrics_snapshot()
+        assert snap["schema"] == METRICS_SCHEMA
+        assert snap["counters"] == {"io.requests": 2}
+        assert set(snap["histograms"]) == {"x.latency"}
+        assert snap["series"]["g"] == [[0.0, 1]]
+
+    def test_reset_clears_everything(self):
+        stats = StatsCollector()
+        stats.add("c", 1)
+        stats.observe("h", 1.0, bounds=(1.0,))
+        stats.sample("g", 0.0, 1)
+        stats.reset()
+        snap = stats.metrics_snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+        assert snap["series"] == {}

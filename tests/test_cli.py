@@ -152,6 +152,98 @@ class TestRobustnessFlags:
             )
 
 
+class TestSpanTracing:
+    def _graph(self, tmp_path, seed=11, vertices=64):
+        path = tmp_path / "g.txt"
+        rng = np.random.default_rng(seed)
+        save_edges_text(path, rng.integers(0, vertices, size=(256, 2)), vertices)
+        return path
+
+    def test_run_writes_span_and_chrome_traces(self, tmp_path, capsys):
+        import json
+
+        graph = self._graph(tmp_path)
+        spans = tmp_path / "run.jsonl"
+        chrome = tmp_path / "run.trace.json"
+        rc = cli.main(
+            [
+                "run", "--algorithm", "bfs", "--edges", str(graph),
+                "--threads", "4",
+                "--trace-spans", str(spans),
+                "--trace-chrome", str(chrome),
+            ]
+        )
+        assert rc == 0
+        records = [json.loads(line) for line in spans.read_text().splitlines()]
+        assert {r["type"] for r in records} >= {"iteration", "io", "device"}
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+
+    def test_trace_spans_needs_semi_external(self, tmp_path):
+        graph = self._graph(tmp_path)
+        with pytest.raises(SystemExit):
+            cli.main(
+                [
+                    "run", "--algorithm", "bfs", "--edges", str(graph),
+                    "--mode", "in-memory", "--trace-spans", "x.jsonl",
+                ]
+            )
+
+    def test_abort_still_writes_partial_traces(self, tmp_path, capsys, monkeypatch):
+        # Force a mid-run abort after some real iterations: the CLI must
+        # salvage the partial per-iteration CSV and the span traces.
+        from repro.core.engine import IterationAborted
+        from repro.sim.faults import UnrecoverableIOError
+
+        real = cli.run_algorithm
+
+        def aborting(engine, app, **kwargs):
+            result = real(engine, app, max_iterations=2)
+            raise IterationAborted(
+                2, UnrecoverableIOError(0, result.runtime, "injected"), result
+            )
+
+        monkeypatch.setattr(cli, "run_algorithm", aborting)
+        graph = self._graph(tmp_path)
+        trace = tmp_path / "trace.csv"
+        spans = tmp_path / "trace.jsonl"
+        rc = cli.main(
+            [
+                "run", "--algorithm", "pr", "--edges", str(graph),
+                "--threads", "4",
+                "--trace", str(trace), "--trace-spans", str(spans),
+            ]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "aborted" in err and "partial" in err
+        assert trace.read_text().startswith("iteration,")
+        assert len(trace.read_text().splitlines()) == 3  # header + 2 rows
+        assert spans.exists() and spans.read_text()
+
+
+class TestProfile:
+    def test_profile_writes_valid_document(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.report import PROFILE_SCHEMA, validate_profile
+
+        out = tmp_path / "profile.json"
+        rc = cli.main(
+            [
+                "profile", "--algorithm", "pr", "--dataset", "page-sim",
+                "--max-iterations", "3", "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        profile = json.loads(out.read_text())
+        assert profile["schema"] == PROFILE_SCHEMA
+        assert validate_profile(profile) == []
+        assert len(profile["iterations"]) == 3
+        out_text = capsys.readouterr().out
+        assert "totals:" in out_text
+
+
 class TestBench:
     def test_table1(self, capsys):
         rc = cli.main(["bench", "--experiment", "table1"])

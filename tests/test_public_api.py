@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.algorithms",
     "repro.baselines",
     "repro.bench",
+    "repro.obs",
 ]
 
 
@@ -64,6 +65,9 @@ class TestCrossPackageConsistency:
             "repro.sim.numa",
             "repro.sim.calibration",
             "repro.safs.write_path",
+            "repro.obs.registry",
+            "repro.obs.spans",
+            "repro.obs.report",
             "repro.bench.experiments",
             "repro.bench.extra_experiments",
             "repro.algorithms.louvain",
