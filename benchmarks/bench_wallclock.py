@@ -44,32 +44,43 @@ METRICS_FILE = _REPO_ROOT / "BENCH_metrics.json"
 PROFILE_FILE = _REPO_ROOT / "BENCH_profile.json"
 
 #: The suite whose per-layer profile becomes BENCH_profile.json.
-PROFILE_SUITE = ("pr@twitter-sim@sem", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL)
+PROFILE_SUITE = (
+    "pr@twitter-sim@sem", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL, "v1"
+)
 
-#: (suite name, graph, app, mode).  The SEM suites exercise the full
-#: request/merge/cache/delivery stack; the MEM suites isolate the engine.
+#: (suite name, graph, app, mode, edge-list format).  The SEM suites
+#: exercise the full request/merge/cache/delivery stack; the MEM suites
+#: isolate the engine; the ``@v2`` suites run the same workload over the
+#: compressed on-SSD format so its wall-clock and bytes_read deltas are
+#: tracked next to the v1 numbers.
 FULL_SUITES = (
-    ("pr@twitter-sim@sem", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL),
-    ("wcc@twitter-sim@sem", "twitter-sim", "wcc", ExecutionMode.SEMI_EXTERNAL),
-    ("bfs@twitter-sim@sem", "twitter-sim", "bfs", ExecutionMode.SEMI_EXTERNAL),
-    ("pr@twitter-sim@mem", "twitter-sim", "pr", ExecutionMode.IN_MEMORY),
-    ("wcc@twitter-sim@mem", "twitter-sim", "wcc", ExecutionMode.IN_MEMORY),
+    ("pr@twitter-sim@sem", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL, "v1"),
+    ("wcc@twitter-sim@sem", "twitter-sim", "wcc", ExecutionMode.SEMI_EXTERNAL, "v1"),
+    ("bfs@twitter-sim@sem", "twitter-sim", "bfs", ExecutionMode.SEMI_EXTERNAL, "v1"),
+    ("pr@twitter-sim@sem@v2", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL, "v2"),
+    ("wcc@twitter-sim@sem@v2", "twitter-sim", "wcc", ExecutionMode.SEMI_EXTERNAL, "v2"),
+    ("pr@twitter-sim@mem", "twitter-sim", "pr", ExecutionMode.IN_MEMORY, "v1"),
+    ("wcc@twitter-sim@mem", "twitter-sim", "wcc", ExecutionMode.IN_MEMORY, "v1"),
 )
 
 SMOKE_SUITES = (
-    ("pr@twitter-sim@sem", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL),
-    ("wcc@twitter-sim@sem", "twitter-sim", "wcc", ExecutionMode.SEMI_EXTERNAL),
+    ("pr@twitter-sim@sem", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL, "v1"),
+    ("wcc@twitter-sim@sem", "twitter-sim", "wcc", ExecutionMode.SEMI_EXTERNAL, "v1"),
+    ("pr@twitter-sim@sem@v2", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL, "v2"),
 )
 
 
-def run_suite(graph: str, app: str, mode: ExecutionMode, repeats: int = 1) -> dict:
-    """Run one (graph, app, mode) suite; wall_s is the best of ``repeats``.
+def run_suite(
+    graph: str, app: str, mode: ExecutionMode, repeats: int = 1, fmt: str = "v1"
+) -> dict:
+    """Run one (graph, app, mode, fmt) suite; wall_s is the best of
+    ``repeats``.
 
     ``SAFSFile._next_id`` is pinned before each run so page-cache set
     hashing (which keys on file_id) is reproducible no matter what ran
     earlier in the process.
     """
-    image = load_dataset(graph)
+    image = load_dataset(graph, fmt)
     cache = scaled_cache_bytes(1.0)
     best = None
     result = None
@@ -87,13 +98,14 @@ def run_suite(graph: str, app: str, mode: ExecutionMode, repeats: int = 1) -> di
         "bytes_read": result.bytes_read,
         "cache_hit_rate": result.cache_hit_rate,
         "iterations": result.iterations,
+        "format": fmt,
     }
 
 
 def run_suites(suites, repeats: int = 1) -> dict:
     rows = {}
-    for name, graph, app, mode in suites:
-        rows[name] = run_suite(graph, app, mode, repeats=repeats)
+    for name, graph, app, mode, fmt in suites:
+        rows[name] = run_suite(graph, app, mode, repeats=repeats, fmt=fmt)
         print(
             f"{name:24s} wall={rows[name]['wall_s']:8.3f}s  "
             f"sim={rows[name]['sim_runtime_s']:.6f}s  "
@@ -127,14 +139,14 @@ def record_metrics() -> None:
     """
     sections = {}
     profile = None
-    for name, graph, app, mode in SMOKE_SUITES:
-        image = load_dataset(graph)
+    for name, graph, app, mode, fmt in SMOKE_SUITES:
+        image = load_dataset(graph, fmt)
         SAFSFile._next_id = 0
         engine = make_engine(image, mode=mode, cache_bytes=scaled_cache_bytes(1.0))
         observer = arm(engine) if mode is ExecutionMode.SEMI_EXTERNAL else None
         run_algorithm(engine, app)
         sections[name] = collect_metrics(engine, label=name)
-        if (name, graph, app, mode) == PROFILE_SUITE and observer is not None:
+        if (name, graph, app, mode, fmt) == PROFILE_SUITE and observer is not None:
             profile = build_profile(observer, label=name)
     write_metrics_json(METRICS_FILE, sections)
     print(f"recorded {len(sections)} metric snapshots in {METRICS_FILE.name}")

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Tuple
 import numpy as np
 
 from repro.graph.builder import GraphImage, build_directed
+from repro.graph.format import FORMAT_V1
 from repro.graph.generators import page_sim, subdomain_sim, twitter_sim
 
 #: Paper byte sizes divide by this to get simulated sizes ("1GB" → 256KiB).
@@ -39,9 +40,9 @@ class Dataset:
     paper_diameter: int
     builder: Callable[[], Tuple[np.ndarray, int]]
 
-    def build(self) -> GraphImage:
+    def build(self, fmt: str = FORMAT_V1) -> GraphImage:
         edges, num_vertices = self.builder()
-        return build_directed(edges, num_vertices, name=self.name)
+        return build_directed(edges, num_vertices, name=self.name, fmt=fmt)
 
 
 DATASETS: Dict[str, Dataset] = {
@@ -76,12 +77,16 @@ DATASETS: Dict[str, Dataset] = {
 
 
 @lru_cache(maxsize=None)
-def load_dataset(name: str) -> GraphImage:
-    """Build (and memoise) one registered dataset's graph image."""
+def load_dataset(name: str, fmt: str = FORMAT_V1) -> GraphImage:
+    """Build (and memoise) one registered dataset's graph image.
+
+    ``fmt`` picks the on-SSD edge-list layout; each (name, fmt) pair is
+    memoised separately since the serialized files differ.
+    """
     try:
         dataset = DATASETS[name]
     except KeyError:
         raise KeyError(
             f"unknown dataset {name!r}; registered: {sorted(DATASETS)}"
         ) from None
-    return dataset.build()
+    return dataset.build(fmt)

@@ -28,6 +28,7 @@ from repro.baselines import (
 )
 from repro.core.config import EngineConfig, ExecutionMode, ScheduleOrder
 from repro.core.engine import GraphEngine, RunResult
+from repro.obs import registry as reg
 from repro.graph.builder import GraphImage
 from repro.safs.filesystem import SAFS, SAFSConfig
 from repro.sim.cost_model import CostModel
@@ -176,9 +177,16 @@ def write_metrics_json(path, sections: Dict[str, Dict[str, object]]) -> None:
         f.write("\n")
 
 
-def result_row(label: str, app: str, result: RunResult) -> Dict[str, object]:
-    """A uniform dict row from a FlashGraph RunResult."""
-    return {
+def result_row(
+    label: str, app: str, result: RunResult, fmt: Optional[str] = None
+) -> Dict[str, object]:
+    """A uniform dict row from a FlashGraph RunResult.
+
+    Passing ``fmt`` appends the on-SSD edge-list format plus the run's
+    compression ratio (v1-equivalent bytes over stored bytes; v1 runs
+    report 1.0), so format comparisons read straight off the table.
+    """
+    row = {
         "system": label,
         "app": app,
         "runtime_s": result.runtime,
@@ -189,3 +197,8 @@ def result_row(label: str, app: str, result: RunResult) -> Dict[str, object]:
         "io_util": result.io_utilization,
         "memory_MB": result.memory_bytes / 1e6,
     }
+    if fmt is not None:
+        row["format"] = fmt
+        row["compression"] = result.counters.get(reg.GRAPH_COMPRESSION_RATIO, 1.0)
+        row["decode_MB"] = result.counters.get(reg.GRAPH_DECODE_BYTES, 0.0) / 1e6
+    return row

@@ -46,7 +46,15 @@ from repro.sim.faults import default_chaos_plan
 from repro.sim.health import HealthPolicy
 from repro.sim.parity import ParityConfig
 from repro.graph.builder import build_directed
-from repro.graph.io_edge_list import load_edges_npz, load_edges_text, save_edges_npz
+from repro.graph.format import FORMAT_V1, FORMATS
+from repro.graph.io_edge_list import (
+    load_edges_npz,
+    load_edges_text,
+    save_edges_npz,
+    stored_graph_format,
+)
+from repro.graph.stats import degree_percentiles, degree_stats, format_size_report
+from repro.graph.types import EdgeType
 
 EXPERIMENTS = {
     "table1": experiments.table1,
@@ -76,11 +84,21 @@ def _build_parser() -> argparse.ArgumentParser:
     gen = sub.add_parser("generate", help="generate and persist a dataset")
     gen.add_argument("--dataset", choices=sorted(DATASETS), required=True)
     gen.add_argument("--out", required=True, help="output .npz path")
+    gen.add_argument(
+        "--graph-format", choices=list(FORMATS), default=FORMAT_V1,
+        help="on-SSD edge-list format recorded in the .npz; `run` builds "
+        "the image in this format unless overridden (default: %(default)s)",
+    )
 
     run = sub.add_parser("run", help="run one algorithm")
     run.add_argument("--algorithm", choices=PAPER_APPS, required=True)
     run.add_argument("--dataset", choices=sorted(DATASETS))
     run.add_argument("--edges", help="edge-list file (.npz or text)")
+    run.add_argument(
+        "--graph-format", choices=list(FORMATS), default=None,
+        help="on-SSD edge-list format (default: the format recorded in the "
+        ".npz, else v1)",
+    )
     run.add_argument(
         "--mode",
         choices=[m.value for m in ExecutionMode],
@@ -128,6 +146,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate one paper experiment")
     bench.add_argument("--experiment", choices=sorted(EXPERIMENTS), required=True)
 
+    graph = sub.add_parser("graph", help="inspect a graph without running anything")
+    gsub = graph.add_subparsers(dest="graph_command", required=True)
+    gstats = gsub.add_parser(
+        "stats",
+        help="vertices, edges, degree percentiles and on-SSD bytes "
+        "under format v1 vs v2",
+    )
+    gstats.add_argument("--dataset", choices=sorted(DATASETS))
+    gstats.add_argument("--edges", help="edge-list file (.npz or text)")
+
     prof = sub.add_parser(
         "profile",
         help="run one algorithm with tracing armed and write a "
@@ -152,31 +180,41 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_image(args):
+def _resolve_format(args) -> str:
+    """The on-SSD format for this invocation: the explicit flag, else the
+    format recorded in the ``.npz`` being loaded, else v1."""
+    fmt = getattr(args, "graph_format", None)
+    if fmt is None and args.edges and args.edges.endswith(".npz"):
+        fmt = stored_graph_format(args.edges)
+    return fmt or FORMAT_V1
+
+
+def _load_image(args, fmt: str = FORMAT_V1):
     if args.dataset:
-        return load_dataset(args.dataset)
+        return load_dataset(args.dataset, fmt)
     if args.edges:
         if args.edges.endswith(".npz"):
             edges, num_vertices = load_edges_npz(args.edges)
         else:
             edges, num_vertices = load_edges_text(args.edges)
-        return build_directed(edges, num_vertices, name="cli-graph")
-    raise SystemExit("run needs --dataset or --edges")
+        return build_directed(edges, num_vertices, name="cli-graph", fmt=fmt)
+    raise SystemExit(f"{args.command} needs --dataset or --edges")
 
 
 def cmd_generate(args) -> int:
     dataset = DATASETS[args.dataset]
     edges, num_vertices = dataset.builder()
-    save_edges_npz(args.out, edges, num_vertices)
+    save_edges_npz(args.out, edges, num_vertices, fmt=args.graph_format)
     print(
         f"wrote {args.dataset}: {num_vertices:,} vertices, "
-        f"{len(edges):,} edges -> {args.out}"
+        f"{len(edges):,} edges ({args.graph_format}) -> {args.out}"
     )
     return 0
 
 
 def cmd_run(args) -> int:
-    image = _load_image(args)
+    fmt = _resolve_format(args)
+    image = _load_image(args, fmt)
     mode = ExecutionMode(args.mode)
     if mode is not ExecutionMode.SEMI_EXTERNAL:
         if args.fault_seed is not None:
@@ -264,7 +302,7 @@ def cmd_run(args) -> int:
             )
         return 1
     write_span_traces()
-    row = result_row(mode.value, args.algorithm, result)
+    row = result_row(mode.value, args.algorithm, result, fmt=fmt)
     print(format_table([row], title=f"{args.algorithm} on {image.name}"))
     return 0
 
@@ -272,6 +310,39 @@ def cmd_run(args) -> int:
 def cmd_bench(args) -> int:
     rows = EXPERIMENTS[args.experiment]()
     print(format_table(rows, title=args.experiment))
+    return 0
+
+
+def cmd_graph_stats(args) -> int:
+    image = _load_image(args)
+    sizes = format_size_report(image)
+    rows = []
+    directions = [EdgeType.OUT] + ([EdgeType.IN] if image.directed else [])
+    for direction in directions:
+        stats = degree_stats(image, direction)
+        row = {
+            "direction": direction.value,
+            "mean_deg": stats.mean,
+            "max_deg": stats.maximum,
+        }
+        row.update(degree_percentiles(image, direction))
+        rows.append(row)
+    print(format_table(rows, title=f"{image.name} degree distribution"))
+    print(
+        format_table(
+            [
+                {
+                    "vertices": image.num_vertices,
+                    "edges": image.num_edges,
+                    "v1_MB": sizes["v1_bytes"] / 1e6,
+                    "v2_MB": sizes["v2_bytes"] / 1e6,
+                    "compression": sizes["compression_ratio"],
+                    "built_format": sizes["built_format"],
+                }
+            ],
+            title=f"{image.name} on-SSD edge-file bytes",
+        )
+    )
     return 0
 
 
@@ -316,6 +387,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "graph":
+        return cmd_graph_stats(args)
     if args.command == "profile":
         return cmd_profile(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

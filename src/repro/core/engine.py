@@ -36,7 +36,7 @@ from repro.core.scheduler import make_scheduler
 from repro.core.vertex_program import GraphContext, VertexProgram
 from repro.obs import registry as reg
 from repro.graph.builder import GraphImage
-from repro.graph.format import EDGE_BYTES, HEADER_BYTES
+from repro.graph.format import EDGE_BYTES, FORMAT_V2, HEADER_BYTES, decode_lists_v2
 from repro.graph.page_vertex import PageVertex, PageVertexBatch, gather_ranges, scatter_positions
 from repro.graph.types import EdgeType
 from repro.safs.filesystem import SAFS
@@ -193,6 +193,8 @@ class GraphEngine:
         # file_id -> the file's bytes viewed as little-endian u32 words
         # (zero-copy edge gathering in the semi-external fast path).
         self._file_words: Dict[int, np.ndarray] = {}
+        # file_id -> the file's raw uint8 bytes (batched v2 decode).
+        self._file_bytes: Dict[int, np.ndarray] = {}
         self._activations: List[np.ndarray] = []
         self._messages: Optional[MessageBuffer] = None
         self._iteration_end_requested = False
@@ -227,6 +229,13 @@ class GraphEngine:
         self.program = program
         self._messages = MessageBuffer(program.combiner)
         base = self.stats.snapshot()
+        if (
+            self.config.mode is ExecutionMode.SEMI_EXTERNAL
+            and self.image.fmt == FORMAT_V2
+        ):
+            # Set-once, after the base snapshot, so the run's counter diff
+            # reports the ratio; v1 runs never touch the name.
+            self.stats.set(reg.GRAPH_COMPRESSION_RATIO, self.image.compression_ratio())
         self._workers = [_Worker(i) for i in range(self.config.num_threads)]
         custom = None
         if self.config.schedule_order is ScheduleOrder.CUSTOM:
@@ -702,6 +711,8 @@ class GraphEngine:
             )
         self._charge(cpu)
         self.stats.add(reg.ENGINE_IO_REQUESTS, len(requests))
+        fmt = self.image.fmt
+        compressed = fmt == FORMAT_V2
         pending_pairs: Dict[Tuple[int, EdgeType, int], Dict[str, memoryview]] = {}
         for done in completions:
             if done.completion_time > worker.time:
@@ -715,13 +726,19 @@ class GraphEngine:
                 parts[kind] = done.data
                 if len(parts) == 2:
                     attrs = np.frombuffer(parts["attrs"], dtype="<f4")
-                    view = PageVertex(parts["edges"], direction, attrs=attrs)
+                    view = PageVertex(parts["edges"], direction, attrs=attrs, fmt=fmt)
                     del pending_pairs[key]
                     self._attr_waiting.discard(key)
-                    self._deliver_edge_list(worker, requester, view)
+                    self._deliver_edge_list(
+                        worker, requester, view,
+                        decode_bytes=len(parts["edges"]) if compressed else 0,
+                    )
             else:
-                view = PageVertex(done.data, direction)
-                self._deliver_edge_list(worker, requester, view)
+                view = PageVertex(done.data, direction, fmt=fmt)
+                self._deliver_edge_list(
+                    worker, requester, view,
+                    decode_bytes=done.num_bytes if compressed else 0,
+                )
 
     def _service_in_memory_batch(
         self, worker: _Worker, vertices: np.ndarray, edge_type: EdgeType
@@ -770,6 +787,7 @@ class GraphEngine:
         completion order with every per-list charge replayed.
         """
         cm = self.cost_model
+        compressed = self.image.fmt == FORMAT_V2
         directions = edge_type.directions()
         nd = len(directions)
         num_elems = vertices.size * nd
@@ -777,18 +795,24 @@ class GraphEngine:
         offsets = np.empty(num_elems, dtype=np.int64)
         sizes = np.empty(num_elems, dtype=np.int64)
         dir_code = np.empty(num_elems, dtype=np.int64)
+        # Under v2 the record size no longer encodes the degree, so the
+        # degrees ride along as their own lane-filled array.
+        elem_degrees = np.empty(num_elems, dtype=np.int64) if compressed else None
         files: Dict[int, "SAFSFile"] = {}
         dir_files: List = []
         for di, direction in enumerate(directions):
             file = self.safs.open_file(self.image.file_name(direction))
             files[file.file_id] = file
             dir_files.append(file)
-            offs, szs = self.image.index(direction).locate_many(vertices)
+            index = self.image.index(direction)
+            offs, szs = index.locate_many(vertices)
             lane = slice(di, None, nd)
             file_ids[lane] = file.file_id
             offsets[lane] = offs
             sizes[lane] = szs
             dir_code[lane] = di
+            if compressed:
+                elem_degrees[lane] = index.degrees_of(vertices)
         elem_vertex = np.repeat(vertices, nd)
 
         spans = merge_request_arrays(file_ids, offsets, sizes, self.safs.page_size)
@@ -821,7 +845,10 @@ class GraphEngine:
             )
             obs.last_io_ids = None
 
-        degrees = (sizes[deliver] - HEADER_BYTES) // EDGE_BYTES
+        if compressed:
+            degrees = elem_degrees[deliver]
+        else:
+            degrees = (sizes[deliver] - HEADER_BYTES) // EDGE_BYTES
         codes = dir_code[deliver]
         elem_offsets = offsets[deliver]
         total_edges = int(degrees.sum())
@@ -832,13 +859,22 @@ class GraphEngine:
             mask = codes == di
             if not np.any(mask):
                 continue
-            words = self._words_of(dir_files[di])
-            word_starts = elem_offsets[mask] // 4 + HEADER_BYTES // 4
             lane_degrees = degrees[mask]
             positions = scatter_positions(flat_starts[mask], lane_degrees)
-            edges[positions] = gather_ranges(words, word_starts, lane_degrees)
+            if compressed:
+                # One batched varint+delta decode per direction lane.
+                edges[positions] = decode_lists_v2(
+                    self._bytes_of(dir_files[di]), elem_offsets[mask], lane_degrees
+                )
+            else:
+                words = self._words_of(dir_files[di])
+                word_starts = elem_offsets[mask] // 4 + HEADER_BYTES // 4
+                edges[positions] = gather_ranges(words, word_starts, lane_degrees)
         batch = PageVertexBatch(elem_vertex[deliver], degrees, edges)
-        self._deliver_batch(worker, batch, times, cm.cpu_per_edge_sem)
+        self._deliver_batch(
+            worker, batch, times, cm.cpu_per_edge_sem,
+            decode_sizes=sizes[deliver] if compressed else None,
+        )
 
     def _deliver_batch(
         self,
@@ -846,12 +882,14 @@ class GraphEngine:
         batch: PageVertexBatch,
         times: Optional[np.ndarray],
         edge_rate: float,
+        decode_sizes: Optional[np.ndarray] = None,
     ) -> None:
         """Run ``run_on_vertices`` once, then replay the per-list clock
         updates of the scalar delivery loop: the wait clamp to each list's
         completion time, the send charge its messages would have incurred,
-        and the ``run_on_vertex`` charge — same values, same order, so
-        worker clocks land on identical bits."""
+        the ``run_on_vertex`` charge and (under format v2) the per-byte
+        decode charge — same values, same order, so worker clocks land on
+        identical bits."""
         num_lists = batch.num_lists
         if num_lists == 0:
             return
@@ -871,10 +909,13 @@ class GraphEngine:
             count_list = counts.tolist()
         degree_list = batch.degrees.tolist()
         time_list = times.tolist() if times is not None else None
+        size_list = decode_sizes.tolist() if decode_sizes is not None else None
         rate = cm.cpu_per_multicast_recipient
         base = cm.cpu_per_vertex_run
+        decode_rate = cm.cpu_per_decode_byte
         send_charges: Dict[int, float] = {}
         run_charges: Dict[int, float] = {}
+        decode_charges: Dict[int, float] = {}
         t = worker.time
         b = worker.busy
         for i in range(num_lists):
@@ -896,8 +937,18 @@ class GraphEngine:
                 run_charges[degree] = charge
             t += charge
             b += charge
+            if size_list is not None:
+                size = size_list[i]
+                charge = decode_charges.get(size)
+                if charge is None:
+                    charge = size * decode_rate
+                    decode_charges[size] = charge
+                t += charge
+                b += charge
         worker.time = t
         worker.busy = b
+        if size_list is not None:
+            self.stats.add(reg.GRAPH_DECODE_BYTES, int(decode_sizes.sum()))
         self.stats.add(reg.ENGINE_EDGES_DELIVERED, batch.total_edges)
 
     def _words_of(self, file) -> np.ndarray:
@@ -906,6 +957,14 @@ class GraphEngine:
             words = np.frombuffer(file.read(0, file.size), dtype="<u4")
             self._file_words[file.file_id] = words
         return words
+
+    def _bytes_of(self, file) -> np.ndarray:
+        """The file's raw bytes as a cached uint8 view (v2 decode path)."""
+        raw = self._file_bytes.get(file.file_id)
+        if raw is None:
+            raw = np.frombuffer(file.read(0, file.size), dtype=np.uint8)
+            self._file_bytes[file.file_id] = raw
+        return raw
 
     def _attr_requests(
         self, requester: int, targets: np.ndarray, direction: EdgeType
@@ -932,7 +991,13 @@ class GraphEngine:
             )
         return requests
 
-    def _deliver_edge_list(self, worker: _Worker, requester: int, view: PageVertex) -> None:
+    def _deliver_edge_list(
+        self,
+        worker: _Worker,
+        requester: int,
+        view: PageVertex,
+        decode_bytes: int = 0,
+    ) -> None:
         cm = self.cost_model
         if self.config.mode is ExecutionMode.IN_MEMORY:
             edge_rate = cm.cpu_per_edge_mem
@@ -942,6 +1007,11 @@ class GraphEngine:
         self.program.run_on_vertex(self._ctx, int(requester), view)
         edges = view.num_edges + self._extra_edge_charge
         self._charge(cm.cpu_per_vertex_run + edges * edge_rate)
+        if decode_bytes:
+            # Compressed (v2) lists pay per-byte decode CPU; v1 delivery
+            # takes this branch never, keeping its charges bit-identical.
+            self._charge(decode_bytes * cm.cpu_per_decode_byte)
+            self.stats.add(reg.GRAPH_DECODE_BYTES, decode_bytes)
         self.stats.add(reg.ENGINE_EDGES_DELIVERED, view.num_edges)
 
     def _deliver_messages(self) -> None:
@@ -1167,3 +1237,11 @@ class GraphEngine:
         name = self.image.file_name(EdgeType.OUT)
         if name not in self.safs.file_names():
             self.image.attach_to_safs(self.safs)
+        elif self.safs.file_format(name) != self.image.fmt:
+            # A same-named file written under the other layout would parse
+            # as garbage; fail fast instead.
+            raise ValueError(
+                f"SAFS file {name!r} was created as format "
+                f"{self.safs.file_format(name)!r} but the image expects "
+                f"{self.image.fmt!r}"
+            )

@@ -18,11 +18,17 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.graph.format import (
+    FORMAT_V1,
+    FORMAT_V2,
+    FORMATS,
+    EDGE_BYTES,
+    HEADER_BYTES,
     adjacency_from_edges,
     serialize_adjacency,
+    serialize_adjacency_v2,
     serialize_attributes,
 )
-from repro.graph.index import GraphIndex, build_index
+from repro.graph.index import GraphIndex, build_index, build_index_v2
 from repro.graph.types import EdgeType
 
 
@@ -63,6 +69,8 @@ class GraphImage:
     #: Logical edge count: each directed edge once; each undirected edge
     #: once even though it is stored in both endpoints' lists.
     edge_count: int = 0
+    #: On-SSD edge-list format ("v1" fixed u32, "v2" delta+varint).
+    fmt: str = FORMAT_V1
 
     @property
     def num_edges(self) -> int:
@@ -112,11 +120,28 @@ class GraphImage:
             total += self.in_index.memory_bytes()
         return total
 
+    def uncompressed_bytes(self) -> int:
+        """The edge files' sizes had they been laid out as format v1 —
+        the denominator of :meth:`compression_ratio`."""
+        total = HEADER_BYTES * self.num_vertices + EDGE_BYTES * int(
+            self.out_csr.num_edges
+        )
+        if self.directed:
+            total += HEADER_BYTES * self.num_vertices + EDGE_BYTES * int(
+                self.in_csr.num_edges
+            )
+        return total
+
+    def compression_ratio(self) -> float:
+        """v1-equivalent bytes over actual edge-file bytes (1.0 for v1)."""
+        actual = len(self.out_bytes) + (len(self.in_bytes) if self.directed else 0)
+        return self.uncompressed_bytes() / actual if actual else 1.0
+
     def attach_to_safs(self, safs) -> None:
         """Create this image's files inside a SAFS instance."""
-        safs.create_file(self.file_name(EdgeType.OUT), self.out_bytes)
+        safs.create_file(self.file_name(EdgeType.OUT), self.out_bytes, fmt=self.fmt)
         if self.directed:
-            safs.create_file(self.file_name(EdgeType.IN), self.in_bytes)
+            safs.create_file(self.file_name(EdgeType.IN), self.in_bytes, fmt=self.fmt)
         for edge_type, data in self.attr_bytes.items():
             safs.create_file(f"{self.name}.{edge_type.value}-attrs", data)
 
@@ -129,12 +154,21 @@ class GraphImage:
 
 
 def _build_direction(
-    edges: np.ndarray, num_vertices: int
+    edges: np.ndarray, num_vertices: int, fmt: str = FORMAT_V1
 ) -> Tuple[CSR, bytes, GraphIndex]:
     indptr, indices = adjacency_from_edges(edges, num_vertices)
-    data, offsets = serialize_adjacency(indptr, indices)
-    index = build_index(np.diff(indptr), offsets)
+    if fmt == FORMAT_V2:
+        data, offsets = serialize_adjacency_v2(indptr, indices)
+        index = build_index_v2(np.diff(indptr), offsets)
+    else:
+        data, offsets = serialize_adjacency(indptr, indices)
+        index = build_index(np.diff(indptr), offsets)
     return CSR(indptr, indices), data, index
+
+
+def _check_fmt(fmt: str) -> None:
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown graph format {fmt!r}; pick from {FORMATS}")
 
 
 def build_directed(
@@ -142,17 +176,20 @@ def build_directed(
     num_vertices: int,
     name: str = "graph",
     weights: Optional[np.ndarray] = None,
+    fmt: str = FORMAT_V1,
 ) -> GraphImage:
     """Build a directed image from an ``(m, 2)`` src→dst edge array.
 
     Duplicate edges are dropped (FlashGraph's input graphs are simple).
     ``weights``, when given, become detached out-edge attributes.
+    ``fmt`` picks the on-SSD edge-list layout (v1 default, v2 compressed).
     """
+    _check_fmt(fmt)
     edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
     edges, weights = _dedup(edges, weights)
-    out_csr, out_bytes, out_index = _build_direction(edges, num_vertices)
+    out_csr, out_bytes, out_index = _build_direction(edges, num_vertices, fmt)
     reversed_edges = edges[:, ::-1]
-    in_csr, in_bytes, in_index = _build_direction(reversed_edges, num_vertices)
+    in_csr, in_bytes, in_index = _build_direction(reversed_edges, num_vertices, fmt)
     image = GraphImage(
         name=name,
         num_vertices=num_vertices,
@@ -164,6 +201,7 @@ def build_directed(
         out_index=out_index,
         in_index=in_index,
         edge_count=int(edges.shape[0]),
+        fmt=fmt,
     )
     if weights is not None:
         _attach_weights(image, edges, weights, num_vertices)
@@ -175,10 +213,12 @@ def build_undirected(
     num_vertices: int,
     name: str = "graph",
     weights: Optional[np.ndarray] = None,
+    fmt: str = FORMAT_V1,
 ) -> GraphImage:
     """Build an undirected image: each edge is stored in both endpoints'
     lists, self-loops once.  A single edge-list file serves both
     directions (``in_*`` aliases ``out_*``)."""
+    _check_fmt(fmt)
     edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
     # Canonicalise (u <= v) then deduplicate.
     lo = edges.min(axis=1)
@@ -190,7 +230,7 @@ def build_undirected(
     sym_weights = None
     if weights is not None:
         sym_weights = np.concatenate([weights, weights[~loops]])
-    csr, data, index = _build_direction(sym, num_vertices)
+    csr, data, index = _build_direction(sym, num_vertices, fmt)
     image = GraphImage(
         name=name,
         num_vertices=num_vertices,
@@ -202,6 +242,7 @@ def build_undirected(
         out_index=index,
         in_index=index,
         edge_count=int(edges.shape[0]),
+        fmt=fmt,
     )
     if sym_weights is not None:
         _attach_weights(image, sym, sym_weights, num_vertices)

@@ -16,6 +16,23 @@ database systems.
 Everything is little-endian and 4-byte aligned, so a
 :class:`~repro.graph.page_vertex.PageVertex` can be parsed zero-copy from
 cached SAFS pages with ``numpy.frombuffer``.
+
+Format **v2** keeps the 8-byte header but stores the neighbors of each
+vertex as sorted deltas under a stream-split group-varint codec::
+
+    +-----------+--------+-----------------+------------------------+
+    | vertex id | degree | tag bytes       | payload bytes          |
+    |   (u32)   | (u32)  | ceil(degree/4)  | 1-4 per value, packed  |
+    +-----------+--------+-----------------+------------------------+
+
+The values are ``neighbors[0], neighbors[1] - neighbors[0], ...`` (the
+lists are sorted, so every delta is non-negative).  Each tag byte packs
+four 2-bit length codes (``code = bytes - 1``), value ``k``'s code living
+at bits ``2*(k % 4)`` of tag byte ``k // 4``.  Splitting *all* tags ahead
+of *all* payload bytes — rather than interleaving tag/group as classic
+group varint does — makes every byte position computable from the degree
+and a running sum, so both encode and decode vectorise with numpy and
+never loop per edge.  See ``docs/graph_format.md`` for worked layouts.
 """
 
 from typing import Tuple
@@ -28,6 +45,44 @@ HEADER_BYTES = 8
 EDGE_BYTES = 4
 #: Bytes per stored edge attribute (a float32 weight by default).
 ATTR_BYTES = 4
+
+#: The uncompressed format of §3.5.2 (fixed u32 neighbors).  The default.
+FORMAT_V1 = "v1"
+#: Delta + stream-split group-varint neighbors (opt-in).
+FORMAT_V2 = "v2"
+#: All recognised edge-list file formats.
+FORMATS = (FORMAT_V1, FORMAT_V2)
+
+#: Neighbors packed per tag byte in v2 (2-bit length codes).
+VALUES_PER_TAG = 4
+
+
+def _ramp(lengths: np.ndarray, total: int) -> np.ndarray:
+    """``[0..lengths[0]), [0..lengths[1]), ...`` as one flat array."""
+    stops = np.cumsum(lengths)
+    return np.arange(total, dtype=np.int64) - np.repeat(stops - lengths, lengths)
+
+
+def gather_ranges(source: np.ndarray, starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``source[starts[i] : starts[i] + lengths[i]]`` for all
+    ``i`` with a single fancy-index gather (no per-range slicing)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=source.dtype)
+    ramp = _ramp(lengths, total)
+    return source[np.repeat(starts, lengths) + ramp]
+
+
+def scatter_positions(out_starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Flat output indices placing range ``i`` at ``out_starts[i]`` — the
+    scatter-side twin of :func:`gather_ranges`, used when ranges from
+    several source arrays interleave into one concatenation."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.repeat(out_starts, lengths) + _ramp(lengths, total)
 
 
 def edge_list_size(degree: int) -> int:
@@ -145,3 +200,219 @@ def adjacency_from_edges(
     indptr = np.zeros(num_vertices + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
     return indptr, indices
+
+
+# ---------------------------------------------------------------------------
+# Format v2: delta + stream-split group-varint neighbors.
+# ---------------------------------------------------------------------------
+
+
+def _delta_values(indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Per-vertex delta encoding of sorted neighbor lists, as int64.
+
+    The first neighbor of each vertex is stored raw; every later one as
+    the difference from its predecessor.  Raises :class:`ValueError` when
+    any list is unsorted (a negative delta), since v2 cannot represent it.
+    """
+    values = indices.astype(np.int64)
+    if values.size:
+        deltas = np.empty_like(values)
+        deltas[0] = values[0]
+        deltas[1:] = values[1:] - values[:-1]
+        # List-leading positions keep the raw neighbor id.
+        starts = indptr[:-1][np.diff(indptr) > 0]
+        deltas[starts] = values[starts]
+        if deltas.min() < 0:
+            raise ValueError(
+                "format v2 requires per-vertex sorted neighbor lists"
+            )
+        values = deltas
+    return values
+
+
+def _value_byte_lengths(values: np.ndarray) -> np.ndarray:
+    """Encoded byte length (1-4) of each value under group varint."""
+    return (
+        1
+        + (values > 0xFF).astype(np.int64)
+        + (values > 0xFFFF).astype(np.int64)
+        + (values > 0xFFFFFF).astype(np.int64)
+    )
+
+
+def v2_edge_list_sizes(indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Per-vertex on-SSD byte sizes under format v2, without encoding.
+
+    ``sizes[v] = 8 + ceil(degree/4) + sum(encoded value bytes)`` — the
+    cheap sizing pass `repro graph stats` uses to report compression
+    ratios for images that were built as v1.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    degrees = np.diff(indptr)
+    tag_counts = (degrees + VALUES_PER_TAG - 1) // VALUES_PER_TAG
+    val_len = _value_byte_lengths(_delta_values(indptr, np.asarray(indices)))
+    payload_cum = np.concatenate(([0], np.cumsum(val_len)))
+    return HEADER_BYTES + tag_counts + np.diff(payload_cum[indptr])
+
+
+def serialize_adjacency_v2(
+    indptr: np.ndarray, indices: np.ndarray
+) -> Tuple[bytes, np.ndarray]:
+    """Serialise a CSR adjacency into the compressed v2 edge-list file.
+
+    Neighbor lists must be sorted per vertex (duplicates are fine — they
+    encode as delta 0).  Returns ``(file_bytes, offsets)`` with
+    ``offsets[v]`` the byte offset of vertex ``v``'s record and
+    ``offsets[n]`` the file size.  Encode is pure numpy: byte planes are
+    scattered with fancy indexing, tag bytes assembled with one bincount.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.uint32)
+    if indptr.ndim != 1 or indptr.size < 1:
+        raise ValueError("indptr must be a 1-D array with at least one entry")
+    if indptr[0] != 0 or indptr[-1] != indices.size:
+        raise ValueError("indptr must start at 0 and end at len(indices)")
+    if np.any(np.diff(indptr) < 0):
+        raise ValueError("indptr must be non-decreasing")
+    num_vertices = indptr.size - 1
+    degrees = np.diff(indptr)
+    tag_counts = (degrees + VALUES_PER_TAG - 1) // VALUES_PER_TAG
+
+    values = _delta_values(indptr, indices)
+    val_len = _value_byte_lengths(values)
+    payload_cum = np.concatenate(([0], np.cumsum(val_len)))
+    payload_counts = np.diff(payload_cum[indptr])
+
+    sizes = HEADER_BYTES + tag_counts + payload_counts
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    out = np.zeros(int(offsets[-1]), dtype=np.uint8)
+
+    # Headers: 8 little-endian byte planes scattered at each record start.
+    vids = np.arange(num_vertices, dtype=np.int64)
+    for k in range(4):
+        out[offsets[:-1] + k] = (vids >> (8 * k)) & 0xFF
+        out[offsets[:-1] + 4 + k] = (degrees >> (8 * k)) & 0xFF
+
+    if values.size:
+        # Tag bytes: each value contributes its 2-bit code at bits
+        # 2*(rank % 4) of tag byte rank // 4 of its vertex.  All values of
+        # one tag byte sum disjoint bit ranges, so one bincount builds the
+        # whole tag stream exactly.
+        rank = _ramp(degrees, values.size)
+        vertex_of = np.repeat(vids, degrees)
+        tag_cum = np.concatenate(([0], np.cumsum(tag_counts)))
+        tag_idx = tag_cum[vertex_of] + rank // VALUES_PER_TAG
+        codes = val_len - 1
+        tags = np.bincount(
+            tag_idx,
+            weights=(codes << (2 * (rank % VALUES_PER_TAG))).astype(np.float64),
+            minlength=int(tag_cum[-1]),
+        ).astype(np.uint8)
+        out[scatter_positions(offsets[:-1] + HEADER_BYTES, tag_counts)] = tags
+
+        # Payload: values packed little-endian at 1-4 bytes each.  The
+        # concatenated payload stream is in file order, so one scatter per
+        # byte plane places every value.
+        payload = np.zeros(int(payload_cum[-1]), dtype=np.uint8)
+        for k in range(4):
+            mask = val_len > k
+            payload[payload_cum[:-1][mask] + k] = (values[mask] >> (8 * k)) & 0xFF
+        out[
+            scatter_positions(
+                offsets[:-1] + HEADER_BYTES + tag_counts, payload_counts
+            )
+        ] = payload
+    return out.tobytes(), offsets
+
+
+def decode_lists_v2(
+    file_bytes: np.ndarray, offsets: np.ndarray, degrees: np.ndarray
+) -> np.ndarray:
+    """Decode a batch of v2 edge lists straight out of the file's bytes.
+
+    ``file_bytes`` is the whole edge file as a ``uint8`` array;
+    ``offsets[i]``/``degrees[i]`` locate list ``i``.  Returns all neighbor
+    ids concatenated in list order as ``uint32`` — the batched decode the
+    engine's vectorized SEM path runs once per delivered wave.  No Python
+    loop touches an edge.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    degrees = np.asarray(degrees, dtype=np.int64)
+    total = int(degrees.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.uint32)
+    lv = np.repeat(np.arange(offsets.size, dtype=np.int64), degrees)
+    rank = _ramp(degrees, total)
+    tag_counts = (degrees + VALUES_PER_TAG - 1) // VALUES_PER_TAG
+
+    tag_bytes = file_bytes[
+        offsets[lv] + HEADER_BYTES + rank // VALUES_PER_TAG
+    ].astype(np.int64)
+    val_len = ((tag_bytes >> (2 * (rank % VALUES_PER_TAG))) & 3) + 1
+
+    # Payload position of each value: list start + within-list running sum
+    # of earlier value lengths.
+    cum = np.cumsum(val_len)
+    excl = cum - val_len
+    list_starts = np.concatenate(([0], np.cumsum(degrees)))[:-1]
+    safe_starts = np.minimum(list_starts, total - 1)
+    within = excl - np.repeat(excl[safe_starts], degrees)
+    payload_pos = offsets[lv] + HEADER_BYTES + tag_counts[lv] + within
+
+    values = np.zeros(total, dtype=np.int64)
+    for k in range(4):
+        mask = val_len > k
+        values[mask] |= file_bytes[payload_pos[mask] + k].astype(np.int64) << (8 * k)
+
+    # Undo the delta encoding with one global prefix sum, re-based per list.
+    csum = np.cumsum(values)
+    base = np.repeat(csum[safe_starts] - values[safe_starts], degrees)
+    neighbors = csum - base
+    if neighbors.size and neighbors.max() > 0xFFFFFFFF:
+        raise ValueError("corrupt v2 edge list: neighbor id overflows u32")
+    return neighbors.astype(np.uint32)
+
+
+def parse_edge_list_v2(data: memoryview, offset: int = 0) -> Tuple[int, np.ndarray]:
+    """Parse one v2 edge list at ``offset`` of a file view.
+
+    The v2 twin of :func:`parse_edge_list`: returns ``(vertex_id,
+    neighbors)`` and raises :class:`ValueError` on truncation.  Unlike v1
+    the neighbors are decoded (delta + varint), not a zero-copy view.
+    """
+    if offset < 0 or offset + HEADER_BYTES > len(data):
+        raise ValueError("buffer too small for an edge-list header")
+    buf = np.frombuffer(data, dtype=np.uint8)
+    header = np.frombuffer(data, dtype="<u4", count=2, offset=offset)
+    vertex_id = int(header[0])
+    degree = int(header[1])
+    tag_count = (degree + VALUES_PER_TAG - 1) // VALUES_PER_TAG
+    if offset + HEADER_BYTES + tag_count > len(data):
+        raise ValueError(
+            f"edge list of vertex {vertex_id} truncated: tag bytes run past "
+            f"the buffer at offset {offset}"
+        )
+    if degree == 0:
+        return vertex_id, np.empty(0, dtype=np.uint32)
+    rank = np.arange(degree, dtype=np.int64)
+    tags = buf[
+        offset + HEADER_BYTES + rank // VALUES_PER_TAG
+    ].astype(np.int64)
+    val_len = ((tags >> (2 * (rank % VALUES_PER_TAG))) & 3) + 1
+    payload_len = int(val_len.sum())
+    end = offset + HEADER_BYTES + tag_count + payload_len
+    if end > len(data):
+        raise ValueError(
+            f"edge list of vertex {vertex_id} truncated: needs {end - offset} "
+            f"bytes at offset {offset}, buffer has {len(data) - offset}"
+        )
+    pos = offset + HEADER_BYTES + tag_count + (np.cumsum(val_len) - val_len)
+    values = np.zeros(degree, dtype=np.int64)
+    for k in range(4):
+        mask = val_len > k
+        values[mask] |= buf[pos[mask] + k].astype(np.int64) << (8 * k)
+    neighbors = np.cumsum(values)
+    if neighbors[-1] > 0xFFFFFFFF:
+        raise ValueError("corrupt v2 edge list: neighbor id overflows u32")
+    return vertex_id, neighbors.astype(np.uint32)

@@ -21,6 +21,9 @@ from repro.graph.format import EDGE_BYTES, HEADER_BYTES
 LARGE_DEGREE = 255
 #: An exact location is stored once per this many edge lists.
 CHECKPOINT_INTERVAL = 32
+#: v2 record sizes at or above this value spill to the hash table (the
+#: compact per-vertex size slot is a u16).
+LARGE_SIZE = 0xFFFF
 
 
 class GraphIndex:
@@ -184,6 +187,94 @@ class GraphIndex:
         )
 
 
+class GraphIndexV2(GraphIndex):
+    """The index for compressed (format v2) edge files.
+
+    v2 record sizes depend on the encoded bytes, not just the degree, so
+    the index carries a compact per-vertex **size** table alongside the
+    degree bytes: a u16 per vertex (sizes ≥ 64 KiB spill to the same kind
+    of hash table the degree bytes use) plus the exact-offset checkpoints,
+    now accumulated over the true compressed sizes.  Locations remain
+    *computed* — walk sizes forward from the nearest checkpoint — and are
+    exact for the compressed layout.
+    """
+
+    def __init__(
+        self,
+        degrees: np.ndarray,
+        sizes: np.ndarray,
+        checkpoint_interval: int = CHECKPOINT_INTERVAL,
+    ) -> None:
+        super().__init__(degrees, checkpoint_interval=checkpoint_interval)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.shape != (self._num_vertices,):
+            raise ValueError("one size per vertex is required")
+        if sizes.size and sizes.min() < HEADER_BYTES:
+            raise ValueError("v2 record sizes cannot undercut the header")
+        self._size_words = np.minimum(sizes, LARGE_SIZE).astype(np.uint16)
+        large = np.nonzero(sizes >= LARGE_SIZE)[0]
+        self._large_sizes: Dict[int, int] = {
+            int(v): int(sizes[v]) for v in large
+        }
+        offsets = np.zeros(self._num_vertices + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        self._file_size = int(offsets[-1])
+        self._checkpoints = offsets[:-1:checkpoint_interval].copy()
+        self._exact_offsets_cache = offsets
+        self._exact_sizes = sizes
+
+    def edge_list_size(self, vertex: int) -> int:
+        """On-SSD bytes of ``vertex``'s compressed edge list."""
+        self._check(vertex)
+        small = int(self._size_words[vertex])
+        if small < LARGE_SIZE:
+            return small
+        return self._large_sizes[vertex]
+
+    def locate(self, vertex: int) -> Tuple[int, int]:
+        """``(offset, size)`` in the compressed file, walked from the
+        nearest checkpoint over the per-vertex size table."""
+        self._check(vertex)
+        checkpoint = vertex // self._interval
+        offset = int(self._checkpoints[checkpoint])
+        for v in range(checkpoint * self._interval, vertex):
+            offset += self.edge_list_size(v)
+        return offset, self.edge_list_size(vertex)
+
+    def locate_many(self, vertices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`locate` against the exact compressed offsets."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size and (
+            vertices.min() < 0 or vertices.max() >= self._num_vertices
+        ):
+            raise IndexError("vertex id out of range in locate_many")
+        return self._exact_offsets_cache[vertices], self._exact_sizes[vertices]
+
+    def memory_bytes(self) -> int:
+        """The compact v1 index plus two size bytes per vertex and the
+        large-size hash entries."""
+        return (
+            super().memory_bytes()
+            + 2 * self._num_vertices
+            + 32 * len(self._large_sizes)
+        )
+
+    def sizes_array(self) -> np.ndarray:
+        """All compressed record sizes as int64 (test/debug helper)."""
+        out = self._size_words.astype(np.int64)
+        for vertex, size in self._large_sizes.items():
+            out[vertex] = size
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphIndexV2(vertices={self._num_vertices}, "
+            f"edges={self._total_edges}, "
+            f"file={self._file_size}B, "
+            f"memory={self.memory_bytes()}B)"
+        )
+
+
 def build_index(degrees: np.ndarray, offsets: Optional[np.ndarray] = None) -> GraphIndex:
     """Build a :class:`GraphIndex` and, when given the serializer's exact
     ``offsets``, verify the computed layout matches them."""
@@ -195,4 +286,19 @@ def build_index(degrees: np.ndarray, offsets: Optional[np.ndarray] = None) -> Gr
                 "index layout disagrees with the serialized file size: "
                 f"{index.file_size} vs {offsets[-1]}"
             )
+    return index
+
+
+def build_index_v2(
+    degrees: np.ndarray, offsets: np.ndarray
+) -> GraphIndexV2:
+    """Build a :class:`GraphIndexV2` from the v2 serializer's exact
+    ``offsets`` (``n + 1`` entries; sizes are their differences)."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    index = GraphIndexV2(degrees, np.diff(offsets))
+    if offsets[-1] != index.file_size:
+        raise ValueError(
+            "v2 index layout disagrees with the serialized file size: "
+            f"{index.file_size} vs {offsets[-1]}"
+        )
     return index

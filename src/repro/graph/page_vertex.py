@@ -10,8 +10,23 @@ from typing import Optional
 
 import numpy as np
 
-from repro.graph.format import parse_edge_list
+from repro.graph.format import (
+    FORMAT_V1,
+    FORMAT_V2,
+    _ramp,
+    gather_ranges,
+    parse_edge_list,
+    parse_edge_list_v2,
+    scatter_positions,
+)
 from repro.graph.types import EdgeType
+
+__all__ = [
+    "PageVertex",
+    "PageVertexBatch",
+    "gather_ranges",
+    "scatter_positions",
+]
 
 
 class PageVertex:
@@ -24,8 +39,12 @@ class PageVertex:
         data: memoryview,
         edge_type: EdgeType = EdgeType.OUT,
         attrs: Optional[np.ndarray] = None,
+        fmt: str = FORMAT_V1,
     ) -> None:
-        self._vertex_id, self._edges = parse_edge_list(data)
+        if fmt == FORMAT_V2:
+            self._vertex_id, self._edges = parse_edge_list_v2(data)
+        else:
+            self._vertex_id, self._edges = parse_edge_list(data)
         self._edge_type = edge_type
         self._attrs = attrs
 
@@ -83,32 +102,9 @@ class PageVertex:
         )
 
 
-def _ramp(lengths: np.ndarray, total: int) -> np.ndarray:
-    """``[0..lengths[0]), [0..lengths[1]), ...`` as one flat array."""
-    stops = np.cumsum(lengths)
-    return np.arange(total, dtype=np.int64) - np.repeat(stops - lengths, lengths)
-
-
-def gather_ranges(source: np.ndarray, starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Concatenate ``source[starts[i] : starts[i] + lengths[i]]`` for all
-    ``i`` with a single fancy-index gather (no per-range slicing)."""
-    lengths = np.asarray(lengths, dtype=np.int64)
-    total = int(lengths.sum())
-    if total == 0:
-        return np.empty(0, dtype=source.dtype)
-    ramp = _ramp(lengths, total)
-    return source[np.repeat(starts, lengths) + ramp]
-
-
-def scatter_positions(out_starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Flat output indices placing range ``i`` at ``out_starts[i]`` — the
-    scatter-side twin of :func:`gather_ranges`, used when ranges from
-    several source arrays interleave into one concatenation."""
-    lengths = np.asarray(lengths, dtype=np.int64)
-    total = int(lengths.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    return np.repeat(out_starts, lengths) + _ramp(lengths, total)
+# _ramp / gather_ranges / scatter_positions now live in
+# repro.graph.format (the v2 codec needs them below PageVertex in the
+# import graph); they are re-exported here for existing callers.
 
 
 class PageVertexBatch:

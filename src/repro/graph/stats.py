@@ -8,11 +8,12 @@ by domain).
 """
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph.builder import GraphImage
+from repro.graph.format import EDGE_BYTES, HEADER_BYTES, v2_edge_list_sizes
 from repro.graph.types import EdgeType
 
 
@@ -93,3 +94,46 @@ def degree_histogram(
     degrees = image.csr(edge_type).degrees()
     values, counts = np.unique(degrees, return_counts=True)
     return values, counts
+
+
+#: Percentiles ``repro graph stats`` reports.
+DEFAULT_PERCENTILES = (50, 90, 99, 100)
+
+
+def degree_percentiles(
+    image: GraphImage,
+    edge_type: EdgeType = EdgeType.OUT,
+    percentiles: Sequence[int] = DEFAULT_PERCENTILES,
+) -> Dict[str, float]:
+    """Named degree percentiles (``{"p50": ..., ...}``) for one direction."""
+    degrees = image.csr(edge_type).degrees().astype(np.float64)
+    if degrees.size == 0:
+        raise ValueError("the graph has no vertices")
+    return {
+        f"p{p}": float(np.percentile(degrees, p)) for p in percentiles
+    }
+
+
+def format_size_report(image: GraphImage) -> Dict[str, object]:
+    """On-SSD edge-file bytes under format v1 vs v2 for ``image``.
+
+    Sizes come from the CSR, so the report is exact regardless of which
+    format the image was actually built with (the built format's number
+    matches ``len(image.out_bytes)``); v2 sizes use the cheap sizing pass
+    of :func:`~repro.graph.format.v2_edge_list_sizes` without encoding.
+    """
+    directions = [EdgeType.OUT] + ([EdgeType.IN] if image.directed else [])
+    v1_bytes = 0
+    v2_bytes = 0
+    for direction in directions:
+        csr = image.csr(direction)
+        v1_bytes += HEADER_BYTES * image.num_vertices + EDGE_BYTES * csr.num_edges
+        v2_bytes += int(v2_edge_list_sizes(csr.indptr, csr.indices).sum())
+    return {
+        "v1_bytes": v1_bytes,
+        "v2_bytes": v2_bytes,
+        "compression_ratio": v1_bytes / v2_bytes if v2_bytes else 1.0,
+        "built_format": image.fmt,
+        "built_bytes": len(image.out_bytes)
+        + (len(image.in_bytes) if image.directed else 0),
+    }

@@ -56,6 +56,13 @@ ARRAY_REQUESTS = "array.requests"
 ARRAY_PAGES_READ = "array.pages_read"
 ARRAY_BYTES_READ = "array.bytes_read"
 
+# --- graph.* ------------------------------------------------------------
+#: Compressed edge-list bytes decoded (format v2 runs; v1 decodes nothing).
+GRAPH_DECODE_BYTES = "graph.decode_bytes"
+#: v1-equivalent bytes over actual on-SSD edge-file bytes (a set-once
+#: gauge-style counter; 0 means the run used format v1).
+GRAPH_COMPRESSION_RATIO = "graph.compression_ratio"
+
 # --- msg.* / numa.* -----------------------------------------------------
 MSG_SENT = "msg.sent"
 MSG_DELIVERED = "msg.delivered"
@@ -131,6 +138,13 @@ GAUGE_IN_FLIGHT = "io.in_flight_requests"
 KNOWN_GAUGES = frozenset(
     {GAUGE_FRONTIER_SIZE, GAUGE_CACHE_OCCUPANCY, GAUGE_IN_FLIGHT}
 )
+
+#: Per-cache-set hit rate, sampled as ``cache.set_hit_rate.<set index>``
+#: when the observer is armed *and* the cache has per-set tracking
+#: enabled.  A gauge *family* (like the per-device histograms): the
+#: per-set names are derived, so the family prefix — not each member —
+#: is the registered constant.
+GAUGE_CACHE_SET_HIT_RATE = "cache.set_hit_rate"
 
 
 def histogram_bounds(name: str):

@@ -119,6 +119,12 @@ class Observer:
                 stats.sample(
                     registry.GAUGE_CACHE_OCCUPANCY, barrier, len(engine.safs.cache)
                 )
+                for index, rate in engine.safs.cache.set_hit_rate_samples().items():
+                    stats.sample(
+                        f"{registry.GAUGE_CACHE_SET_HIT_RATE}.{index}",
+                        barrier,
+                        rate,
+                    )
             in_flight = 0
             for heap in self._outstanding.values():
                 in_flight += sum(1 for done in heap if done > barrier)
@@ -332,6 +338,9 @@ def arm(engine, observer: Optional[Observer] = None) -> Observer:
     if safs is not None:
         safs.obs = obs
         safs.scheduler.obs = obs
+        # Per-set hit tallies exist only on armed stacks, keeping the
+        # disarmed lookup miss path free of set hashing.
+        safs.cache.enable_set_tracking()
         array = safs.array
         array.obs = obs
         for ssd in array.ssds:

@@ -92,6 +92,7 @@ class SAFS:
             fault_policy=fault_policy,
         )
         self._files: Dict[str, SAFSFile] = {}
+        self._file_formats: Dict[str, str] = {}
 
     @property
     def fault_policy(self) -> FaultPolicy:
@@ -102,13 +103,25 @@ class SAFS:
     def page_size(self) -> int:
         return self.config.page_size
 
-    def create_file(self, name: str, data: Union[bytes, bytearray, memoryview]) -> SAFSFile:
-        """Store ``data`` as a new file striped across the array."""
+    def create_file(
+        self,
+        name: str,
+        data: Union[bytes, bytearray, memoryview],
+        fmt: str = "v1",
+    ) -> SAFSFile:
+        """Store ``data`` as a new file striped across the array.
+
+        ``fmt`` records the file's logical layout ("v1" fixed-width edge
+        lists or other raw data, "v2" delta+varint compressed edge lists)
+        so readers can check they parse what was written — SAFS itself is
+        format-agnostic and serves byte ranges either way.
+        """
         if name in self._files:
             raise ValueError(f"file {name!r} already exists")
         file = SAFSFile(name, data)
         self.scheduler.register_file(file)
         self._files[name] = file
+        self._file_formats[name] = fmt
         return file
 
     def open_file(self, name: str) -> SAFSFile:
@@ -117,6 +130,12 @@ class SAFS:
             return self._files[name]
         except KeyError:
             raise FileNotFoundError(f"SAFS has no file named {name!r}") from None
+
+    def file_format(self, name: str) -> str:
+        """The layout tag ``create_file`` recorded for ``name``."""
+        if name not in self._files:
+            raise FileNotFoundError(f"SAFS has no file named {name!r}")
+        return self._file_formats.get(name, "v1")
 
     def file_names(self) -> List[str]:
         """All file names, in creation order."""

@@ -98,6 +98,36 @@ class PageCache:
         self._ref_bits: Dict[int, Dict[PageKey, bool]] = {}
         self._hands: Dict[int, int] = {}
         self._rings: Dict[int, List[PageKey]] = {}
+        # Opt-in per-set lookup/hit tallies (``enable_set_tracking``).
+        # ``None`` keeps the miss fast path free of set hashing — arming an
+        # observer turns them on; a disarmed run never pays for them.
+        self._set_lookups: Optional[np.ndarray] = None
+        self._set_hits: Optional[np.ndarray] = None
+
+    def enable_set_tracking(self) -> None:
+        """Start tallying lookups and hits per cache set.
+
+        Off by default: the miss fast path skips set hashing entirely, so
+        the tallies exist only when something (the observer's :func:`arm`)
+        asks for them.  Idempotent; tallies are cumulative from the first
+        call.
+        """
+        if self._set_lookups is None:
+            self._set_lookups = np.zeros(self.config.num_sets, dtype=np.int64)
+            self._set_hits = np.zeros(self.config.num_sets, dtype=np.int64)
+
+    def set_hit_rate_samples(self) -> Dict[int, float]:
+        """``{set index: cumulative hit rate}`` for every probed set.
+
+        Empty when tracking is off (:meth:`enable_set_tracking`) or no
+        lookup has landed yet; sets never probed are omitted rather than
+        reported as 0.0.
+        """
+        if self._set_lookups is None:
+            return {}
+        probed = np.flatnonzero(self._set_lookups)
+        rates = self._set_hits[probed] / self._set_lookups[probed]
+        return {int(i): float(r) for i, r in zip(probed, rates)}
 
     def _set_index(self, key: PageKey) -> int:
         # A multiplicative hash keeps adjacent pages in different sets so a
@@ -113,9 +143,14 @@ class PageCache:
         """
         key = (file_id, page_no)
         if key not in self._resident:
+            if self._set_lookups is not None:
+                self._set_lookups[self._set_index(key)] += 1
             self.stats.add(reg.CACHE_MISSES)
             return None
         index = self._set_index(key)
+        if self._set_lookups is not None:
+            self._set_lookups[index] += 1
+            self._set_hits[index] += 1
         cache_set = self._sets[index]
         if self.config.eviction == "lru":
             cache_set.move_to_end(key)
@@ -136,6 +171,7 @@ class PageCache:
         hit_mask = np.zeros(n, dtype=bool)
         resident = self._resident
         lru = self.config.eviction == "lru"
+        tracking = self._set_lookups is not None
         hits = 0
         for i in range(n):
             key = (file_id, first_page + i)
@@ -143,10 +179,15 @@ class PageCache:
                 hit_mask[i] = True
                 hits += 1
                 index = self._set_index(key)
+                if tracking:
+                    self._set_lookups[index] += 1
+                    self._set_hits[index] += 1
                 if lru:
                     self._sets[index].move_to_end(key)
                 else:
                     self._ref_bits[index][key] = True
+            elif tracking:
+                self._set_lookups[self._set_index(key)] += 1
         if hits:
             self.stats.add(reg.CACHE_HITS, hits)
         if n - hits:

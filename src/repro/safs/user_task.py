@@ -34,7 +34,13 @@ class UserTask:
 
 @dataclass(frozen=True)
 class CompletedTask:
-    """One finished request handed back to the engine, in completion order."""
+    """One finished request handed back to the engine, in completion order.
+
+    Requests are byte-granular: ``data`` spans exactly the bytes asked
+    for, which under a compressed edge-list format (v2) is the *encoded*
+    record — smaller than the neighbor array it decodes to.  The engine
+    charges decode CPU per byte of :attr:`num_bytes` in that case.
+    """
 
     #: The originating request (an :class:`~repro.safs.io_request.IORequest`).
     request: Any
@@ -44,3 +50,8 @@ class CompletedTask:
     completion_time: float
     #: Whether every page of the request was already cached.
     cache_hit: bool = field(default=False)
+
+    @property
+    def num_bytes(self) -> int:
+        """Length of the served byte range (compressed bytes under v2)."""
+        return len(self.data)

@@ -57,6 +57,14 @@ class CostModel:
     #: kernel space in Figure 9.
     cpu_per_page_transfer: float = 1.1e-6
 
+    #: Decoding one byte of a compressed (format v2) edge list: tag-byte
+    #: read, shift/mask unpack and the delta prefix sum, amortised per
+    #: encoded byte.  v1 pays nothing (its parse is a zero-copy cast).
+    #: At ~2.2 encoded bytes per edge this adds ~3 ns/edge on top of
+    #: ``cpu_per_edge_sem`` — decode stays far cheaper than the SSD bytes
+    #: it saves, matching the BigSparse/Graphyti observation.
+    cpu_per_decode_byte: float = 1.5e-9
+
     #: Extra per-vertex cost when the load balancer executes a stolen vertex
     #: (vertex state lives on a remote NUMA node; §3.8.1).
     cpu_steal_penalty: float = 60e-9
@@ -84,6 +92,7 @@ class CostModel:
             "cpu_per_io_request_kernel": self.cpu_per_io_request_kernel,
             "cpu_per_cache_lookup": self.cpu_per_cache_lookup,
             "cpu_per_page_transfer": self.cpu_per_page_transfer,
+            "cpu_per_decode_byte": self.cpu_per_decode_byte,
             "cpu_steal_penalty": self.cpu_steal_penalty,
             "iteration_barrier": self.iteration_barrier,
         }

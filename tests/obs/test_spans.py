@@ -119,6 +119,26 @@ class TestHistogramsAndGauges:
         for gauge in registry.KNOWN_GAUGES:
             assert len(engine.stats.series(gauge)) == result.iterations
 
+    def test_per_set_hit_rate_gauges_sampled(self, armed_run):
+        # Arming enables per-set tallies, and every probed set gets one
+        # cumulative-rate sample per iteration barrier.
+        engine, _, result = armed_run
+        samples = engine.safs.cache.set_hit_rate_samples()
+        assert samples  # the run probed at least one set
+        for index, rate in samples.items():
+            series = engine.stats.series(
+                f"{registry.GAUGE_CACHE_SET_HIT_RATE}.{index}"
+            )
+            assert 0 < len(series) <= result.iterations
+            assert series[-1][1] == rate
+            assert all(0.0 <= value <= 1.0 for _, value in series)
+
+    def test_per_set_tracking_off_when_disarmed(self):
+        SAFSFile._next_id = 0
+        engine = make_engine(load_dataset("page-sim"))
+        run_algorithm(engine, "pr", max_iterations=2)
+        assert engine.safs.cache.set_hit_rate_samples() == {}
+
 
 class TestExports:
     def test_jsonl_is_valid_and_ordered(self, armed_run):

@@ -139,3 +139,48 @@ class TestProperties:
                 inserted.add(page_no)
             else:
                 assert page_no in inserted
+
+
+class TestPerSetTracking:
+    def test_off_by_default(self):
+        cache = make_cache()
+        cache.insert(page(0, 1))
+        cache.lookup(0, 1)
+        cache.lookup(0, 2)
+        assert cache.set_hit_rate_samples() == {}
+
+    def test_tracks_hits_and_misses_per_set(self):
+        cache = make_cache(capacity_pages=8, associativity=8)  # one set
+        cache.enable_set_tracking()
+        cache.insert(page(0, 1))
+        cache.lookup(0, 1)  # hit
+        cache.lookup(0, 2)  # miss
+        cache.lookup(0, 1)  # hit
+        samples = cache.set_hit_rate_samples()
+        assert samples == {0: 2 / 3}
+
+    def test_lookup_range_counts_like_scalar_lookups(self):
+        scalar, bulk = make_cache(), make_cache()
+        for cache in (scalar, bulk):
+            cache.enable_set_tracking()
+            cache.insert_range([page(0, n) for n in (2, 4, 5)])
+        for n in range(8):
+            scalar.lookup(0, n)
+        bulk.lookup_range(0, 0, 7)
+        assert scalar.set_hit_rate_samples() == bulk.set_hit_rate_samples()
+
+    def test_unprobed_sets_omitted(self):
+        cache = make_cache(capacity_pages=16, associativity=1)  # 16 sets
+        cache.enable_set_tracking()
+        cache.lookup(0, 0)
+        samples = cache.set_hit_rate_samples()
+        assert len(samples) == 1
+        assert set(samples.values()) == {0.0}
+
+    def test_idempotent_enable_keeps_tallies(self):
+        cache = make_cache(capacity_pages=8, associativity=8)
+        cache.enable_set_tracking()
+        cache.insert(page(0, 1))
+        cache.lookup(0, 1)
+        cache.enable_set_tracking()
+        assert cache.set_hit_rate_samples() == {0: 1.0}

@@ -244,6 +244,102 @@ class TestProfile:
         assert "totals:" in out_text
 
 
+class TestGraphFormat:
+    def _graph(self, tmp_path, seed=5, vertices=64):
+        path = tmp_path / "g.txt"
+        rng = np.random.default_rng(seed)
+        save_edges_text(path, rng.integers(0, vertices, size=(256, 2)), vertices)
+        return path
+
+    def test_run_with_format_v2(self, tmp_path, capsys):
+        graph = self._graph(tmp_path)
+        rc = cli.main(
+            [
+                "run", "--algorithm", "pr", "--edges", str(graph),
+                "--threads", "4", "--graph-format", "v2",
+                "--max-iterations", "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "format" in out and "v2" in out
+        assert "compression" in out
+
+    def test_run_defaults_to_v1(self, tmp_path, capsys):
+        graph = self._graph(tmp_path)
+        rc = cli.main(
+            [
+                "run", "--algorithm", "bfs", "--edges", str(graph),
+                "--threads", "4",
+            ]
+        )
+        assert rc == 0
+        assert "v1" in capsys.readouterr().out
+
+    def test_unknown_format_rejected(self, tmp_path):
+        graph = self._graph(tmp_path)
+        with pytest.raises(SystemExit):
+            cli.main(
+                [
+                    "run", "--algorithm", "bfs", "--edges", str(graph),
+                    "--graph-format", "v3",
+                ]
+            )
+
+    def test_generate_records_format_run_honours_it(self, tmp_path, capsys):
+        from repro.graph.io_edge_list import stored_graph_format
+
+        out = tmp_path / "tw.npz"
+        rc = cli.main(
+            [
+                "generate", "--dataset", "twitter-sim", "--out", str(out),
+                "--graph-format", "v2",
+            ]
+        )
+        assert rc == 0
+        assert "v2" in capsys.readouterr().out
+        assert stored_graph_format(out) == "v2"
+        rc = cli.main(
+            [
+                "run", "--algorithm", "bfs", "--edges", str(out),
+                "--threads", "4",
+            ]
+        )
+        assert rc == 0
+        assert "v2" in capsys.readouterr().out
+
+    def test_generate_without_format_stays_loadable(self, tmp_path):
+        from repro.graph.io_edge_list import stored_graph_format
+
+        out = tmp_path / "tw.npz"
+        rc = cli.main(["generate", "--dataset", "twitter-sim", "--out", str(out)])
+        assert rc == 0
+        assert stored_graph_format(out) == "v1"
+
+
+class TestGraphStats:
+    def test_stats_on_dataset(self, capsys):
+        rc = cli.main(["graph", "stats", "--dataset", "twitter-sim"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "degree distribution" in out
+        assert "v1_MB" in out and "v2_MB" in out
+        assert "compression" in out
+
+    def test_stats_on_edge_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        rng = np.random.default_rng(9)
+        save_edges_text(path, rng.integers(0, 64, size=(256, 2)), 64)
+        rc = cli.main(["graph", "stats", "--edges", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p99" in out
+
+    def test_stats_without_input_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["graph", "stats"])
+
+
 class TestBench:
     def test_table1(self, capsys):
         rc = cli.main(["bench", "--experiment", "table1"])
