@@ -59,6 +59,7 @@ FULL_SUITES = (
     ("bfs@twitter-sim@sem", "twitter-sim", "bfs", ExecutionMode.SEMI_EXTERNAL, "v1"),
     ("pr@twitter-sim@sem@v2", "twitter-sim", "pr", ExecutionMode.SEMI_EXTERNAL, "v2"),
     ("wcc@twitter-sim@sem@v2", "twitter-sim", "wcc", ExecutionMode.SEMI_EXTERNAL, "v2"),
+    ("bfs@twitter-sim@sem@v2", "twitter-sim", "bfs", ExecutionMode.SEMI_EXTERNAL, "v2"),
     ("pr@twitter-sim@mem", "twitter-sim", "pr", ExecutionMode.IN_MEMORY, "v1"),
     ("wcc@twitter-sim@mem", "twitter-sim", "wcc", ExecutionMode.IN_MEMORY, "v1"),
 )
@@ -114,9 +115,15 @@ def run_suites(suites, repeats: int = 1) -> dict:
     return rows
 
 
-def record(section: str, rows: dict) -> None:
+def record(section: str, rows: dict, merge: bool = False) -> None:
     data = json.loads(RESULTS_FILE.read_text()) if RESULTS_FILE.exists() else {}
-    data[section] = rows
+    if merge and section in data:
+        # Merge keeps suites recorded on other machines untouched —
+        # wall_s values are host-specific, so re-recording everything
+        # just to add one suite would perturb the whole baseline.
+        data[section] = {**data[section], **rows}
+    else:
+        data[section] = rows
     before, after = data.get("before"), data.get("after")
     if before and after:
         data["speedup"] = {
@@ -202,15 +209,27 @@ def main() -> int:
                         help="repeats per suite; wall_s is the minimum (default 2)")
     parser.add_argument("--tolerance", type=float, default=2.0,
                         help="--smoke failure threshold vs baseline (default 2.0)")
+    parser.add_argument("--only", action="append", metavar="SUITE",
+                        help="limit to suites whose name contains this substring "
+                             "(repeatable); with --record, merges into the "
+                             "section instead of replacing it")
     args = parser.parse_args()
 
     if args.smoke:
         return smoke_check(args.tolerance)
     suites = SMOKE_SUITES if args.record == "smoke" else FULL_SUITES
+    if args.only:
+        suites = tuple(
+            s for s in suites if any(sub in s[0] for sub in args.only)
+        )
+        if not suites:
+            print("no suites match --only", file=sys.stderr)
+            return 2
     rows = run_suites(suites, repeats=args.repeats)
     if args.record:
-        record(args.record, rows)
-        record_metrics()
+        record(args.record, rows, merge=bool(args.only))
+        if not args.only:
+            record_metrics()
     return 0
 
 

@@ -51,6 +51,11 @@ class PageRankProgram(VertexProgram):
         self.rank = np.zeros(num_vertices)
         self.pending = np.full(num_vertices, 1.0 - damping)
         self._sending = np.zeros(num_vertices)
+        # Async scheduling floor: sync drops a push when
+        # ``damping * delta <= tolerance``, so a pending delta at or
+        # below ``tolerance / damping`` is not worth scheduling — the
+        # exact same mass sync would leave unpropagated.
+        self.async_floor = tolerance / damping
 
     def run(self, g: GraphContext, vertex: int) -> None:
         delta = self.pending[vertex]
@@ -99,6 +104,12 @@ class PageRankProgram(VertexProgram):
     def run_on_messages(self, g: GraphContext, dests: np.ndarray, values: np.ndarray) -> np.ndarray:
         self.pending[dests] += values
         return np.ones(dests.size, dtype=bool)
+
+    # -- async priority hook (see docs/execution_modes.md) ---------------
+
+    def residuals(self, vertices: np.ndarray) -> np.ndarray:
+        """Unpropagated rank mass: the pending delta itself."""
+        return np.abs(self.pending[vertices])
 
 
 def pagerank(

@@ -28,10 +28,15 @@ class SSSPProgram(VertexProgram):
     def __init__(self, num_vertices: int, source: int) -> None:
         self.dist = np.full(num_vertices, np.inf)
         self.dist[source] = 0.0
+        # Distance each vertex last relaxed its out-edges at; ``inf``
+        # means "never relaxed", so any finite distance is a positive
+        # residual and the vertex is eligible for an async round.
+        self._announced = np.full(num_vertices, np.inf)
 
     def run(self, g: GraphContext, vertex: int) -> None:
         # Relax out-edges; the engine pairs the edge list with its weight
         # block from the detached attribute file.
+        self._announced[vertex] = self.dist[vertex]
         g.request_vertices(vertex, np.asarray([vertex]), EdgeType.OUT, with_attrs=True)
 
     def run_on_vertex(self, g: GraphContext, vertex: int, page_vertex: PageVertex) -> None:
@@ -45,6 +50,17 @@ class SSSPProgram(VertexProgram):
         if value < self.dist[vertex]:
             self.dist[vertex] = value
             g.activate(np.asarray([vertex]))
+
+    # -- async priority hook (see docs/execution_modes.md) ---------------
+
+    def residuals(self, vertices: np.ndarray) -> np.ndarray:
+        """How much each tentative distance improved since the vertex
+        last relaxed its out-edges (unreachable vertices hold no work)."""
+        dist = self.dist[vertices]
+        improvement = np.zeros(dist.size)
+        finite = np.isfinite(dist)
+        improvement[finite] = self._announced[vertices][finite] - dist[finite]
+        return np.maximum(improvement, 0.0)
 
 
 def sssp(

@@ -22,15 +22,20 @@ class WCCProgram(VertexProgram):
     edge_type = EdgeType.BOTH
     combiner = "min"
     state_bytes_per_vertex = 4  # the component label
-    checkpoint_fields = ("component",)
+    checkpoint_fields = ("component", "_announced")
 
     def __init__(self, num_vertices: int) -> None:
         self.component = np.arange(num_vertices, dtype=np.int64)
+        # Label each vertex last broadcast; the sentinel (no label is ever
+        # ``num_vertices``) makes every vertex's initial residual positive
+        # so the async mode starts from the full frontier.
+        self._announced = np.full(num_vertices, num_vertices, dtype=np.int64)
 
     def run(self, g: GraphContext, vertex: int) -> None:
         # Broadcast the current label along both directions.  The engine
         # fetches the in- and out-edge lists as two requests (they live in
         # separate files) and merges adjacent ones (§3.5.2).
+        self._announced[vertex] = self.component[vertex]
         g.request_self(vertex, EdgeType.BOTH)
 
     def run_on_vertex(self, g: GraphContext, vertex: int, page_vertex: PageVertex) -> None:
@@ -48,6 +53,7 @@ class WCCProgram(VertexProgram):
     # methods above) ----------------------------------------------------
 
     def run_batch(self, g: GraphContext, vertices: np.ndarray) -> None:
+        self._announced[vertices] = self.component[vertices]
         g.request_self_batch(vertices, EdgeType.BOTH)
 
     def run_on_vertices(self, g: GraphContext, batch) -> None:
@@ -64,6 +70,13 @@ class WCCProgram(VertexProgram):
         better = labels < self.component[dests]
         self.component[dests[better]] = labels[better]
         return better
+
+    # -- async priority hook (see docs/execution_modes.md) ---------------
+
+    def residuals(self, vertices: np.ndarray) -> np.ndarray:
+        """How far each label dropped since the vertex last broadcast."""
+        improvement = self._announced[vertices] - self.component[vertices]
+        return np.maximum(improvement, 0).astype(np.float64)
 
     def num_components(self) -> int:
         """Distinct component labels after convergence."""

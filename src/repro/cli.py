@@ -30,7 +30,7 @@ from repro.bench.datasets import DATASETS, load_dataset
 from repro.bench.harness import PAPER_APPS, make_engine, result_row, run_algorithm
 from repro.bench.reporting import format_table
 from repro.core.checkpoint import CheckpointManager
-from repro.core.config import ExecutionMode
+from repro.core.config import ExecutionKind, ExecutionMode
 from repro.core.engine import IterationAborted
 from repro.core.tracing import IterationTracer
 from repro.obs import (
@@ -103,6 +103,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mode",
         choices=[m.value for m in ExecutionMode],
         default=ExecutionMode.SEMI_EXTERNAL.value,
+    )
+    run.add_argument(
+        "--execution",
+        choices=[k.value for k in ExecutionKind],
+        default=ExecutionKind.SYNC.value,
+        help="run-loop policy: 'sync' BSP supersteps (the default) or "
+        "'async' priority rounds for residual-capable algorithms "
+        "(pr, wcc; see docs/execution_modes.md)",
+    )
+    run.add_argument(
+        "--async-threshold", type=float, default=0.0,
+        help="async: stop once the global residual sum falls to this "
+        "value (0 runs to quiescence)",
+    )
+    run.add_argument(
+        "--async-staleness", type=int, default=4,
+        help="async: rounds a vertex may be deferred by the priority "
+        "selector before it is force-scheduled",
     )
     run.add_argument("--cache-mb", type=float, default=1.0)
     run.add_argument("--threads", type=int, default=32)
@@ -225,6 +243,12 @@ def cmd_run(args) -> int:
             raise SystemExit(
                 "--trace-spans/--trace-chrome need --mode semi-external"
             )
+    execution = ExecutionKind(args.execution)
+    if execution is ExecutionKind.ASYNC and args.algorithm not in ("pr", "wcc"):
+        raise SystemExit(
+            "--execution async needs a residual-capable algorithm "
+            "(pr, wcc); see docs/execution_modes.md"
+        )
     fault_plan = None
     if args.fault_seed is not None:
         fault_plan = default_chaos_plan(args.fault_seed)
@@ -237,6 +261,9 @@ def cmd_run(args) -> int:
         mode=mode,
         cache_bytes=int(args.cache_mb * (1 << 20)),
         num_threads=args.threads,
+        execution=execution,
+        async_threshold=args.async_threshold,
+        async_staleness=args.async_staleness,
         fault_plan=fault_plan,
         health_policy=HealthPolicy() if fault_plan is not None else None,
         parity=ParityConfig() if args.parity else None,
@@ -302,7 +329,10 @@ def cmd_run(args) -> int:
             )
         return 1
     write_span_traces()
-    row = result_row(mode.value, args.algorithm, result, fmt=fmt)
+    label = mode.value
+    if execution is not ExecutionKind.SYNC:
+        label = f"{mode.value}+{execution.value}"
+    row = result_row(label, args.algorithm, result, fmt=fmt)
     print(format_table([row], title=f"{args.algorithm} on {image.name}"))
     return 0
 

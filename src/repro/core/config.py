@@ -13,6 +13,25 @@ class ExecutionMode(enum.Enum):
     IN_MEMORY = "in-memory"
 
 
+class ExecutionKind(enum.Enum):
+    """How the engine drives vertex programs to convergence.
+
+    ``SYNC`` is the classic BSP superstep loop: every active vertex runs
+    once per iteration and messages buffer to the global barrier.  It is
+    the default and stays bit-identical to the pre-policy engine.
+
+    ``ASYNC`` is the priority-driven mode (ACGraph-style): each *round*
+    schedules only the highest-residual vertices, messages deliver
+    eagerly inside the round, and convergence is detected without a
+    global barrier — quiescence of the above-floor active set plus an
+    optional global residual threshold.  Requires a vertex program with
+    a ``residuals`` hook (see :mod:`repro.core.execution`).
+    """
+
+    SYNC = "sync"
+    ASYNC = "async"
+
+
 class PartitionStrategy(enum.Enum):
     """Horizontal partitioning function (§3.8)."""
 
@@ -75,6 +94,30 @@ class EngineConfig:
     #: Processor sockets the workers are pinned across (§3.8 NUMA
     #: locality; the paper's machine has 4).
     num_sockets: int = 4
+    #: How the run loop is driven (sync BSP supersteps vs async
+    #: priority rounds).
+    execution: ExecutionKind = ExecutionKind.SYNC
+    #: Async convergence: stop once the global residual sum falls to or
+    #: below this value (0 relies on quiescence alone — the active set
+    #: of above-floor vertices emptying out).
+    async_threshold: float = 0.0
+    #: Async staleness bound: an eligible vertex may be deferred by the
+    #: priority selector for at most this many rounds before it is
+    #: force-scheduled, so no state read is ever more than this many
+    #: rounds stale.
+    async_staleness: int = 4
+    #: Fraction of the eligible set each async round schedules (the
+    #: highest-residual slice; the rest accumulate more residual first).
+    #: The default of 1.0 schedules every above-floor vertex — on graphs
+    #: whose edge file dwarfs the page cache, one hot-blocks-first sweep
+    #: per round is cheaper in bytes than extra partial sweeps (see
+    #: ``BENCH_async.json``); lower it when residual mass is known to
+    #: concentrate in a few regions.
+    async_selectivity: float = 1.0
+    #: Never schedule fewer than this many vertices per async round
+    #: (keeps rounds on tiny graphs from degenerating to single-vertex
+    #: I/O that cannot merge).
+    async_min_round: int = 64
 
     def with_overrides(self, **overrides) -> "EngineConfig":
         """Return a copy with the given fields replaced."""
@@ -95,3 +138,11 @@ class EngineConfig:
             raise ValueError("message_flush_threshold must be positive")
         if self.num_sockets <= 0:
             raise ValueError("num_sockets must be positive")
+        if self.async_threshold < 0:
+            raise ValueError("async_threshold cannot be negative")
+        if self.async_staleness < 1:
+            raise ValueError("async_staleness must be at least 1")
+        if not 0.0 < self.async_selectivity <= 1.0:
+            raise ValueError("async_selectivity must lie in (0, 1]")
+        if self.async_min_round <= 0:
+            raise ValueError("async_min_round must be positive")

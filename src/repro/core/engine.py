@@ -29,6 +29,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.config import EngineConfig, ExecutionMode, PartitionStrategy, ScheduleOrder
+from repro.core.execution import make_execution_policy
 from repro.core.memory_mode import InMemoryEdgeStore
 from repro.core.messages import MessageBuffer
 from repro.core.partition import HashPartitioner, RangePartitioner, split_into_parts
@@ -205,6 +206,9 @@ class GraphEngine:
         self._checkpoint_manager = None
         self._checkpoint_every = 0
         self._resume_state: Optional[dict] = None
+        #: Largest message-buffer occupancy seen this run (memory
+        #: accounting); maintained by the execution policy's loop.
+        self._peak_messages = 0
         #: Armed observer (see :mod:`repro.obs`); ``None`` keeps every
         #: layer on the exact legacy path with zero tracing work.
         self.obs = None
@@ -247,7 +251,8 @@ class GraphEngine:
         else:
             frontier = np.unique(np.atleast_1d(np.asarray(initial_active, dtype=np.int64)))
         self.iteration = 0
-        peak_messages = 0
+        self._peak_messages = 0
+        policy = make_execution_policy(self.config)
 
         resume = self._resume_state
         self._resume_state = None
@@ -255,32 +260,26 @@ class GraphEngine:
             frontier, peak_messages, base = self._apply_checkpoint(
                 resume, program, scheduler
             )
+            self._peak_messages = peak_messages
+            exec_state = resume.get("execution")
+            if exec_state is not None or policy.export_state() is not None:
+                # Sync checkpoints (including every pre-policy one) carry
+                # no execution entry; async checkpoints must round-trip
+                # their priority state for a bit-identical continuation.
+                policy.restore_state(exec_state)
 
         manager = self._checkpoint_manager
         every = self._checkpoint_every
         try:
-            while frontier.size or self._messages.pending:
-                if max_iterations is not None and self.iteration >= max_iterations:
-                    break
-                self._run_iteration(frontier, scheduler)
-                peak_messages = max(peak_messages, self._messages.peak_pending)
-                frontier = self._drain_activations()
-                self.iteration += 1
-                if manager is not None and every and self.iteration % every == 0:
-                    # Saving never touches the shared stats: the counter
-                    # stream of a checkpointed run must stay bit-identical
-                    # to an unmonitored one.
-                    manager.save(
-                        self._capture_checkpoint(
-                            frontier, peak_messages, base, scheduler
-                        )
-                    )
+            policy.run_loop(
+                self, frontier, scheduler, max_iterations, base, manager, every
+            )
         except UnrecoverableIOError as exc:
-            raise self._abort_run(exc, base, peak_messages) from exc
+            raise self._abort_run(exc, base, self._peak_messages) from exc
 
         barrier = max((w.time for w in self._workers), default=0.0)
         busy = sum(w.busy for w in self._workers)
-        return self._make_result(barrier, busy, base, peak_messages)
+        return self._make_result(barrier, busy, base, self._peak_messages)
 
     def _abort_run(
         self, cause: UnrecoverableIOError, base: Dict[str, float], peak_messages: int
@@ -351,15 +350,23 @@ class GraphEngine:
         return int(state["iteration"])
 
     def _capture_checkpoint(
-        self, frontier: np.ndarray, peak_messages: int, base: Dict[str, float], scheduler
+        self,
+        frontier: np.ndarray,
+        peak_messages: int,
+        base: Dict[str, float],
+        scheduler,
+        execution: Optional[dict] = None,
     ) -> dict:
-        """Serialize the engine at an iteration barrier.
+        """Serialize the engine at an iteration/round barrier.
 
         Every transient queue is empty here (requests, parts, batches,
         activations, messages), so the capture is the program state, the
         next frontier, the DES clocks and counters, and the SAFS stack's
         mutable state — everything :meth:`_apply_checkpoint` needs for a
-        bit-identical continuation.
+        bit-identical continuation.  Async rounds additionally pass
+        their ``execution`` state (residuals, deferral counters); sync
+        captures omit the key entirely so sync checkpoints keep the
+        pre-policy shape.
         """
         from repro.core.checkpoint import CHECKPOINT_VERSION
 
@@ -387,6 +394,9 @@ class GraphEngine:
                 "state": self.program.snapshot_state(),
             },
         }
+        if execution is not None:
+            state["engine"]["execution"] = self.config.execution.value
+            state["execution"] = execution
         if self.safs is not None:
             health = self.safs.health
             state["safs"] = {
@@ -431,6 +441,12 @@ class GraphEngine:
             raise CheckpointError(
                 f"checkpoint ran in {meta['mode']} mode, this engine "
                 f"is {self.config.mode.value}"
+            )
+        # Sync checkpoints (including pre-policy ones) omit the key.
+        if meta.get("execution", "sync") != self.config.execution.value:
+            raise CheckpointError(
+                f"checkpoint ran under {meta.get('execution', 'sync')} "
+                f"execution, this engine is {self.config.execution.value}"
             )
         prog_meta = state["program"]
         if prog_meta["class"] != type(program).__name__:
@@ -548,6 +564,81 @@ class GraphEngine:
                 self._process_batch(
                     worker, stolen, stolen=True, victim=victim.index
                 )
+
+        self._deliver_messages()
+        if self._iteration_end_requested:
+            self._iteration_end_requested = False
+            self._current = self._workers[0]
+            self.program.run_on_iteration_end(self._ctx)
+            self._charge(self.cost_model.cpu_per_vertex_run)
+        barrier = max(w.time for w in self._workers) + self.cost_model.iteration_barrier
+        for worker in self._workers:
+            worker.time = barrier
+        if obs is not None:
+            obs.end_iteration(barrier, self._workers, self)
+
+    def _run_round(
+        self, frontier: np.ndarray, scheduler, priorities: np.ndarray
+    ) -> None:
+        """One async priority round — the barrier-free twin of
+        :meth:`_run_iteration`.
+
+        Differences from the sync superstep: worker queues are ordered by
+        the priority-aware scheduler (``priorities`` indexes by vertex
+        ID), and messages deliver *eagerly* — the buffer drains whenever
+        occupancy reaches §3.4.1's per-thread flush threshold (the first
+        thread to fill its buffer flushes) instead of waiting for the
+        barrier, so receivers fold fresh state in mid-round and each
+        round propagates further than a BSP superstep would.
+        Only async runs enter here; the sync path is untouched.
+        """
+        config = self.config
+        start = max((w.time for w in self._workers), default=0.0)
+        for worker in self._workers:
+            worker.time = start
+        queues = self.partitioner.split(frontier)
+        for worker, queue in zip(self._workers, queues):
+            worker.queue = scheduler.schedule(
+                queue, self.iteration, priorities=priorities[queue]
+            )
+            worker.pos = 0
+        self.stats.add(reg.ENGINE_ACTIVE_VERTICES, frontier.size)
+        obs = self.obs
+        if obs is not None:
+            obs.begin_iteration(
+                self.iteration, int(frontier.size), start, self._workers
+            )
+
+        largest_queue = max((w.remaining for w in self._workers), default=0)
+        batch_size = min(
+            config.max_running_vertices, max(1, largest_queue // 4)
+        )
+        flush_at = config.message_flush_threshold
+        while True:
+            worker = self._pick_worker()
+            if worker is None:
+                break
+            if worker.remaining:
+                self._process_batch(worker, worker.take(batch_size), stolen=False)
+            elif self._part_queue:
+                requester, targets, direction, with_attrs = self._part_queue.popleft()
+                self._process_part(worker, requester, targets, direction, with_attrs)
+            else:
+                victim = max(self._workers, key=lambda w: w.remaining)
+                stolen = victim.steal_from_tail(
+                    min(batch_size, max(1, victim.remaining // 2))
+                )
+                if stolen.size == 0:
+                    break
+                self.stats.add(reg.ENGINE_STOLEN_VERTICES, stolen.size)
+                if self.numa.is_remote(worker.index, victim.index):
+                    self.stats.add(reg.NUMA_REMOTE_STEALS, stolen.size)
+                self._process_batch(
+                    worker, stolen, stolen=True, victim=victim.index
+                )
+            if self._messages.flush_due(flush_at):
+                self.stats.add(reg.ENGINE_EAGER_FLUSHES)
+                self._deliver_messages()
 
         self._deliver_messages()
         if self._iteration_end_requested:

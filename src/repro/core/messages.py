@@ -59,6 +59,19 @@ class MessageBuffer:
         """Messages buffered and not yet delivered."""
         return self._pending
 
+    def flush_due(self, threshold: int) -> bool:
+        """Whether eager (in-iteration) delivery should fire.
+
+        The async execution mode drains the buffer as soon as occupancy
+        reaches ``threshold`` instead of waiting for the round barrier —
+        the same per-thread flush rule real FlashGraph applies at
+        ``message_flush_threshold`` messages (§3.4.1).  Delivery itself
+        still goes through :meth:`deliver`, whose canonical
+        ``(dest, value)`` sort keeps accumulation deterministic no
+        matter how often the buffer is drained.
+        """
+        return self._pending >= threshold > 0
+
     @property
     def peak_pending(self) -> int:
         """The largest buffer occupancy seen (memory accounting)."""

@@ -26,6 +26,11 @@ per vertex.  The fast path is a wall-clock optimisation only — the engine
 replays every per-vertex CPU charge in the original order, so simulated
 results are bit-identical to the per-vertex path (see
 ``docs/architecture.md``, "Hot paths and vectorization invariants").
+
+Programs that also want the **async priority mode** declare a
+``residuals`` hook (how much unpropagated work each vertex holds) and,
+optionally, an ``async_floor`` below which a residual is not worth
+scheduling — see ``docs/execution_modes.md``.
 """
 
 from typing import Dict, Optional, Tuple
@@ -62,6 +67,25 @@ class VertexProgram:
     run_batch = None  # run_batch(g, vertices: int64 array)
     run_on_vertices = None  # run_on_vertices(g, batch: PageVertexBatch)
     run_on_messages = None  # run_on_messages(g, dests, values) -> activation mask
+
+    #: Async-mode hook (see :mod:`repro.core.execution`): ``None`` means
+    #: the program only supports synchronous BSP execution.  A program
+    #: overriding it returns, for each vertex, its current *residual* —
+    #: a non-negative, finite measure of how much unpropagated work the
+    #: vertex holds (PageRank's pending delta, WCC's label improvement
+    #: since the last broadcast, SSSP's distance improvement).  The
+    #: async policy schedules high-residual vertices first and declares
+    #: convergence when every residual falls to :attr:`async_floor` (and
+    #: the optional global threshold is met).  The program must drive
+    #: its own residual to the floor when it runs (push the delta,
+    #: broadcast the label), or the round loop will never quiesce.
+    residuals = None  # residuals(vertices: int64 array) -> float64 array
+
+    #: Residuals at or below this value are not worth scheduling: the
+    #: async policy never runs such a vertex (PageRank mirrors its sync
+    #: drop rule ``push <= tolerance`` here; monotone algorithms like
+    #: WCC/SSSP keep 0.0 — any improvement must eventually propagate).
+    async_floor: float = 0.0
 
     def run(self, g: "GraphContext", vertex: int) -> None:
         """Called once per iteration on each active vertex."""

@@ -28,6 +28,16 @@ ENGINE_EDGES_DELIVERED = "engine.edges_delivered"
 ENGINE_IO_REQUESTS = "engine.io_requests"
 ENGINE_STOLEN_VERTICES = "engine.stolen_vertices"
 ENGINE_VERTEX_PARTS = "engine.vertex_parts"
+#: Async mode: priority rounds executed (sync runs never touch these).
+ENGINE_ASYNC_ROUNDS = "engine.async_rounds"
+#: Async mode: per-vertex residual/priority recomputations.
+ENGINE_PRIORITY_UPDATES = "engine.priority_updates"
+#: Async mode: the global residual sum, set at each round boundary (a
+#: gauge-style counter like ``graph.compression_ratio``).
+ENGINE_RESIDUAL = "engine.residual"
+#: Async mode: eager in-round message flushes (deliveries that happened
+#: before the round barrier because the buffer hit the flush threshold).
+ENGINE_EAGER_FLUSHES = "engine.eager_flushes"
 
 # --- io.* ---------------------------------------------------------------
 IO_REQUESTS_ISSUED = "io.requests_issued"

@@ -62,6 +62,87 @@ class TestCustom:
         with pytest.raises(ValueError):
             s.schedule(np.array([1, 2, 3]), 0)
 
+    def test_custom_with_duplicates_rejected(self):
+        # Regression: a size-only check let this through, silently
+        # running vertex 1 twice and vertex 2 never.
+        order = lambda ids, it: np.array([1, 1, 3])
+        s = VertexScheduler(ScheduleOrder.CUSTOM, custom_order=order)
+        with pytest.raises(ValueError, match="permutation"):
+            s.schedule(np.array([1, 2, 3]), 0)
+
+    def test_custom_with_foreign_ids_rejected(self):
+        order = lambda ids, it: np.array([1, 2, 99])
+        s = VertexScheduler(ScheduleOrder.CUSTOM, custom_order=order)
+        with pytest.raises(ValueError, match="permutation"):
+            s.schedule(np.array([1, 2, 3]), 0)
+
+    def test_custom_true_permutation_accepted(self):
+        order = lambda ids, it: np.array([3, 1, 2])
+        s = VertexScheduler(ScheduleOrder.CUSTOM, custom_order=order)
+        assert s.schedule(np.array([1, 2, 3]), 0).tolist() == [3, 1, 2]
+
+
+class TestPriority:
+    """Async-mode priority ordering (block-bucketed residuals)."""
+
+    def test_hottest_block_first(self):
+        s = VertexScheduler(block_shift=2)  # ID blocks of 4
+        active = np.array([9, 0, 5, 8, 1, 4])
+        priorities = np.array([100.0, 1.0, 1.0, 60.0, 1.0, 1.0])
+        out = s.schedule(active, 0, priorities=priorities)
+        # Block 8-11 is hottest; cold blocks follow in ascending ID.
+        assert out.tolist() == [8, 9, 0, 1, 4, 5]
+
+    def test_within_block_order_stays_ascending(self):
+        s = VertexScheduler(block_shift=4)
+        active = np.array([3, 1, 2, 0])
+        priorities = np.array([50.0, 1.0, 9.0, 2.0])
+        out = s.schedule(active, 0, priorities=priorities)
+        # One block: the hot resident does not reorder its neighbors.
+        assert out.tolist() == [0, 1, 2, 3]
+
+    def test_same_bucket_blocks_keep_id_order(self):
+        s = VertexScheduler(block_shift=1)
+        active = np.array([6, 0, 2, 4])
+        # All priorities within a factor of two: one bucket, pure ID order.
+        priorities = np.array([1.9, 1.0, 1.2, 1.7])
+        out = s.schedule(active, 0, priorities=priorities)
+        assert out.tolist() == [0, 2, 4, 6]
+
+    def test_priority_overrides_configured_order(self):
+        s = VertexScheduler(ScheduleOrder.RANDOM, seed=1, block_shift=1)
+        active = np.arange(16)
+        priorities = np.ones(16)
+        out = s.schedule(active, 0, priorities=priorities)
+        assert out.tolist() == list(range(16))
+
+    def test_is_permutation(self):
+        s = VertexScheduler(block_shift=3)
+        active = np.arange(64)
+        priorities = np.linspace(0.0, 7.0, 64)[::-1].copy()
+        out = s.schedule(active, 0, priorities=priorities)
+        assert sorted(out.tolist()) == active.tolist()
+
+    def test_non_finite_priorities_are_clamped(self):
+        s = VertexScheduler(block_shift=1)
+        out = s.schedule(
+            np.array([0, 2]), 0, priorities=np.array([np.inf, 1.0])
+        )
+        assert sorted(out.tolist()) == [0, 2]
+
+    def test_misaligned_priorities_rejected(self):
+        s = VertexScheduler()
+        with pytest.raises(ValueError, match="align"):
+            s.schedule(np.array([1, 2]), 0, priorities=np.array([1.0]))
+
+    def test_negative_block_shift_rejected(self):
+        with pytest.raises(ValueError):
+            VertexScheduler(block_shift=-1)
+
+    def test_block_shift_comes_from_config(self):
+        cfg = EngineConfig(range_shift=5)
+        assert make_scheduler(cfg).block_shift == 5
+
 
 class TestMakeScheduler:
     def test_from_config(self):
