@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""Sustained QPS vs tail latency for the multi-tenant serving layer.
+
+Serves seeded open-loop traffic (``repro.serve``) against the shared
+SAFS stack on twitter-sim across an offered-QPS sweep, for two tenant
+mixes, each run clean and under the composed chaos plan (flaky device +
+stuck queue + one SSD death).  Records sustained-QPS-vs-p50/p99 curves
+in ``BENCH_serving.json``:
+
+- **interactive**: a bursty heavy tenant (weight 2, quota 3, Zipf over
+  pr/bfs/wcc) sharing with a steady light tenant (quota 2, bfs/wcc) —
+  the fair-share stress shape.
+- **uniform**: two identical steady tenants — the baseline shape.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py            # print table
+    PYTHONPATH=src python benchmarks/bench_serving.py --record   # + BENCH_serving.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --check  # CI gate
+    PYTHONPATH=src python benchmarks/bench_serving.py --markdown out.md
+
+``--check`` exits non-zero if any run violated a tenant quota, if a
+clean run aborted a query, or if the lowest-QPS clean p99 exceeds
+``--p99-budget-ms`` (default 25).  ``--smoke`` shrinks the sweep to the
+interactive mix at the two lower QPS points for CI.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.datasets import load_dataset
+from repro.serve import (
+    GraphService,
+    ServiceConfig,
+    TenantSpec,
+    TenantTraffic,
+    generate_trace,
+)
+from repro.sim.faults import (
+    DeviceFailure,
+    FaultPlan,
+    FaultPolicy,
+    StuckQueue,
+    TransientErrors,
+)
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_FILE = _REPO_ROOT / "BENCH_serving.json"
+
+TRAFFIC_SEED = 11
+DURATION_S = 0.2
+QPS_GRID = (40.0, 120.0, 360.0)
+
+#: The composed recoverable chaos profile the test suite uses.
+CHAOS_PLAN = FaultPlan(
+    [
+        TransientErrors(device=3, start=0.0, end=10.0, probability=0.15),
+        StuckQueue(device=7, start=0.0005, end=0.012),
+        DeviceFailure(device=11, at=0.002),
+    ],
+    seed=42,
+)
+CHAOS_POLICY = FaultPolicy(
+    max_retries=12, retry_backoff=200e-6, request_timeout=0.002
+)
+
+
+def _interactive_mix(total_qps):
+    tenants = [
+        TenantSpec(name="acme", weight=2.0, max_concurrent=3),
+        TenantSpec(name="globex", max_concurrent=2),
+    ]
+    traffics = [
+        TenantTraffic(
+            tenant="acme",
+            rate_qps=total_qps * 2.0 / 3.0,
+            apps=("pr", "bfs", "wcc"),
+            burst_factor=4.0,
+            burst_fraction=0.2,
+        ),
+        TenantTraffic(
+            tenant="globex", rate_qps=total_qps / 3.0, apps=("bfs", "wcc")
+        ),
+    ]
+    return tenants, traffics
+
+
+def _uniform_mix(total_qps):
+    tenants = [
+        TenantSpec(name="north", max_concurrent=2),
+        TenantSpec(name="south", max_concurrent=2),
+    ]
+    traffics = [
+        TenantTraffic(tenant="north", rate_qps=total_qps / 2.0),
+        TenantTraffic(tenant="south", rate_qps=total_qps / 2.0),
+    ]
+    return tenants, traffics
+
+
+MIXES = {"interactive": _interactive_mix, "uniform": _uniform_mix}
+
+
+def run_point(image, mix, offered_qps, chaos, duration_s=DURATION_S):
+    tenants, traffics = MIXES[mix](offered_qps)
+    trace = generate_trace(traffics, duration_s, seed=TRAFFIC_SEED)
+    service = GraphService(
+        image,
+        tenants,
+        ServiceConfig(policy="fair"),
+        fault_plan=CHAOS_PLAN if chaos else None,
+        fault_policy=CHAOS_POLICY if chaos else None,
+    )
+    report = service.serve(trace)
+    quota_ok = all(
+        service.admission.peak[t.name] <= t.max_concurrent for t in tenants
+    )
+    return {
+        "mix": mix,
+        "variant": "chaos" if chaos else "clean",
+        "offered_qps": offered_qps,
+        "offered": report.offered,
+        "completed": report.completed,
+        "aborted": report.aborted,
+        "quota_waits": report.quota_waits,
+        "quota_ok": quota_ok,
+        "sustained_qps": round(report.sustained_qps, 2),
+        "p50_ms": round(report.latency_quantile(0.50) * 1e3, 4),
+        "p99_ms": round(report.latency_quantile(0.99) * 1e3, 4),
+        "tenant_p99_ms": {
+            name: round(tr.latency_quantile(0.99) * 1e3, 4)
+            for name, tr in sorted(report.tenants.items())
+        },
+    }
+
+
+def run_all(smoke=False):
+    image = load_dataset("twitter-sim")
+    if smoke:
+        points = [("interactive", qps) for qps in QPS_GRID[:2]]
+        duration = DURATION_S / 2
+    else:
+        points = [(mix, qps) for mix in MIXES for qps in QPS_GRID]
+        duration = DURATION_S
+    rows = []
+    for mix, qps in points:
+        for chaos in (False, True):
+            rows.append(run_point(image, mix, qps, chaos, duration))
+    return rows
+
+
+def format_markdown(rows):
+    lines = [
+        "| mix | variant | offered QPS | sustained QPS | completed | aborted "
+        "| quota waits | p50 ms | p99 ms |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['mix']} | {row['variant']} | {row['offered_qps']:g} "
+            f"| {row['sustained_qps']:g} | {row['completed']} "
+            f"| {row['aborted']} | {row['quota_waits']} "
+            f"| {row['p50_ms']:.3f} | {row['p99_ms']:.3f} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def check(rows, p99_budget_ms):
+    failed = False
+    for row in rows:
+        label = f"{row['mix']}/{row['variant']}@{row['offered_qps']:g}qps"
+        if not row["quota_ok"]:
+            print(f"FAIL {label}: tenant quota exceeded", file=sys.stderr)
+            failed = True
+        if row["completed"] + row["aborted"] != row["offered"]:
+            print(f"FAIL {label}: arrivals went unserved", file=sys.stderr)
+            failed = True
+        if row["variant"] == "clean" and row["aborted"]:
+            print(f"FAIL {label}: clean run aborted queries", file=sys.stderr)
+            failed = True
+    clean = [r for r in rows if r["variant"] == "clean"]
+    base = min(clean, key=lambda r: r["offered_qps"])
+    if base["p99_ms"] > p99_budget_ms:
+        print(
+            f"FAIL baseline p99 {base['p99_ms']:.3f}ms exceeds the "
+            f"{p99_budget_ms:g}ms budget",
+            file=sys.stderr,
+        )
+        failed = True
+    print("serving check:", "FAILED" if failed else "ok")
+    return 1 if failed else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="write the sweep to BENCH_serving.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on quota/SLO violations")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset: one mix, two QPS points, half duration")
+    parser.add_argument("--p99-budget-ms", type=float, default=25.0,
+                        help="--check: p99 budget for the lowest-QPS clean "
+                        "run (default 25)")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="also write the sweep as a Markdown table")
+    args = parser.parse_args()
+
+    rows = run_all(smoke=args.smoke)
+    print(format_markdown(rows))
+    if args.record:
+        RESULTS_FILE.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+        print(f"recorded {len(rows)} runs in {RESULTS_FILE.name}")
+    if args.markdown:
+        Path(args.markdown).write_text(format_markdown(rows))
+        print(f"wrote Markdown table -> {args.markdown}")
+    if args.check:
+        return check(rows, args.p99_budget_ms)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ from repro.core.config import ExecutionKind, ExecutionMode
 from repro.core.engine import IterationAborted
 from repro.core.tracing import IterationTracer
 from repro.obs import (
+    Observer,
     arm,
     build_profile,
     format_profile,
@@ -42,6 +43,14 @@ from repro.obs import (
     write_jsonl,
 )
 from repro.safs.page import SAFSFile
+from repro.serve import (
+    GraphService,
+    ServiceConfig,
+    TenantSpec,
+    TenantTraffic,
+    generate_trace,
+)
+from repro.serve.service import SCHEDULING_POLICIES
 from repro.sim.faults import default_chaos_plan
 from repro.sim.health import HealthPolicy
 from repro.sim.parity import ParityConfig
@@ -163,6 +172,44 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="regenerate one paper experiment")
     bench.add_argument("--experiment", choices=sorted(EXPERIMENTS), required=True)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a seeded multi-tenant query trace over one shared "
+        "SAFS stack and print per-tenant SLO stats",
+    )
+    serve.add_argument("--dataset", choices=sorted(DATASETS), required=True)
+    serve.add_argument(
+        "--tenant", action="append", required=True, metavar="SPEC",
+        help="one tenant, repeatable: name=acme,rate=120[,weight=2]"
+        "[,quota=3][,apps=pr+bfs+wcc][,burst=4x0.2][,deadline=0.05]"
+        "[,cache-kb=256] (rate in queries per simulated second; "
+        "burst=FACTORxFRACTION of each 50ms window)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=0.2,
+        help="trace length in simulated seconds (default: %(default)s)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="traffic seed")
+    serve.add_argument(
+        "--policy", choices=list(SCHEDULING_POLICIES), default="fair",
+        help="admission scheduling policy (default: %(default)s)",
+    )
+    serve.add_argument("--cache-mb", type=float, default=1.0)
+    serve.add_argument("--threads", type=int, default=32)
+    serve.add_argument(
+        "--pr-iterations", type=int, default=5,
+        help="iteration cap for 'pr' queries (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="inject the default chaos plan, seeded",
+    )
+    serve.add_argument(
+        "--trace-spans",
+        help="write the shared observer's span trace as JSONL here",
+    )
+    serve.add_argument("--out", help="write the service report as JSON here")
 
     graph = sub.add_parser("graph", help="inspect a graph without running anything")
     gsub = graph.add_subparsers(dest="graph_command", required=True)
@@ -337,6 +384,113 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _parse_tenant(spec: str):
+    """``name=acme,rate=120[,weight=2][,quota=3][,apps=pr+bfs+wcc]
+    [,burst=4x0.2][,deadline=0.05][,cache-kb=256]`` → (TenantSpec,
+    TenantTraffic)."""
+    fields = {}
+    for part in spec.split(","):
+        if "=" not in part:
+            raise SystemExit(f"bad tenant field {part!r} (expected key=value)")
+        key, value = part.split("=", 1)
+        fields[key.strip()] = value.strip()
+    name = fields.pop("name", None)
+    rate = fields.pop("rate", None)
+    if not name or rate is None:
+        raise SystemExit("each --tenant needs at least name= and rate=")
+    weight = float(fields.pop("weight", 1.0))
+    quota = int(fields.pop("quota", 2))
+    apps = tuple(fields.pop("apps", "pr+bfs+wcc").split("+"))
+    deadline = fields.pop("deadline", None)
+    cache_kb = fields.pop("cache-kb", None)
+    burst = fields.pop("burst", None)
+    if fields:
+        raise SystemExit(f"unknown tenant fields: {', '.join(sorted(fields))}")
+    burst_factor, burst_fraction = 1.0, 0.0
+    if burst:
+        try:
+            factor_s, fraction_s = burst.split("x", 1)
+            burst_factor, burst_fraction = float(factor_s), float(fraction_s)
+        except ValueError:
+            raise SystemExit(
+                f"bad burst {burst!r} (expected FACTORxFRACTION, e.g. 4x0.2)"
+            ) from None
+    try:
+        tenant = TenantSpec(
+            name=name,
+            weight=weight,
+            max_concurrent=quota,
+            deadline_s=float(deadline) if deadline else None,
+            cache_bytes=int(float(cache_kb) * 1024) if cache_kb else None,
+        )
+        traffic = TenantTraffic(
+            tenant=name,
+            rate_qps=float(rate),
+            apps=apps,
+            burst_factor=burst_factor,
+            burst_fraction=burst_fraction,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad tenant {name!r}: {exc}") from None
+    return tenant, traffic
+
+
+def cmd_serve(args) -> int:
+    image = load_dataset(args.dataset)
+    parsed = [_parse_tenant(spec) for spec in args.tenant]
+    tenants = [tenant for tenant, _ in parsed]
+    traffics = [traffic for _, traffic in parsed]
+    trace = generate_trace(traffics, args.duration, args.seed)
+    fault_plan = None
+    if args.fault_seed is not None:
+        fault_plan = default_chaos_plan(args.fault_seed)
+    observer = Observer() if args.trace_spans else None
+    config = ServiceConfig(
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+        num_threads=args.threads,
+        policy=args.policy,
+        pr_iterations=args.pr_iterations,
+    )
+    service = GraphService(
+        image,
+        tenants,
+        config,
+        fault_plan=fault_plan,
+        health_policy=HealthPolicy() if fault_plan is not None else None,
+        observer=observer,
+    )
+    report = service.serve(trace)
+    print(
+        f"served {report.completed}/{report.offered} queries "
+        f"({report.aborted} aborted, {report.quota_waits} quota waits) "
+        f"in {report.duration_s * 1e3:.3f} simulated ms "
+        f"under the '{report.policy}' policy"
+    )
+    header = (
+        f"{'tenant':<12} {'jobs':>5} {'aborts':>6} {'p50 ms':>9} "
+        f"{'p99 ms':>9} {'max wait ms':>12} {'busy ms':>9}"
+    )
+    print(header)
+    for name, tenant_report in sorted(report.tenants.items()):
+        row = tenant_report.to_dict()
+        print(
+            f"{name:<12} {row['jobs']:>5} {row['aborts']:>6} "
+            f"{row['latency_p50_s'] * 1e3:>9.3f} "
+            f"{row['latency_p99_s'] * 1e3:>9.3f} "
+            f"{row['max_queue_wait_s'] * 1e3:>12.3f} "
+            f"{row['busy_seconds'] * 1e3:>9.3f}"
+        )
+    if args.trace_spans:
+        write_jsonl(observer, args.trace_spans)
+        print(f"wrote span trace -> {args.trace_spans}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote report -> {args.out}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     rows = EXPERIMENTS[args.experiment]()
     print(format_table(rows, title=args.experiment))
@@ -415,6 +569,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_generate(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "bench":
         return cmd_bench(args)
     if args.command == "graph":

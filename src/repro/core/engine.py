@@ -134,6 +134,78 @@ class _Worker:
         return stolen
 
 
+class EngineJob:
+    """One in-flight engine run, advanced one barrier at a time.
+
+    Produced by :meth:`GraphEngine.start_job`; a batch :meth:`GraphEngine.run`
+    is exactly ``while job.step(): pass`` over one of these, so a
+    single-job service run replays the batch code path operation for
+    operation.  The service layer (``repro.serve``) interleaves many
+    jobs by always stepping the one with the smallest :attr:`clock`.
+    """
+
+    def __init__(self, engine, steps, base, start_time: float) -> None:
+        self._engine = engine
+        self._steps = steps
+        self._base = base
+        self.start_time = start_time
+        self._result: Optional[RunResult] = None
+        self._done = False
+
+    @property
+    def clock(self) -> float:
+        """The job's current simulated time (max worker clock)."""
+        if self._done and self._result is not None:
+            return self.start_time + self._result.runtime
+        return max(
+            (w.time for w in self._engine._workers), default=self.start_time
+        )
+
+    @property
+    def iteration(self) -> int:
+        return self._engine.iteration
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def step(self) -> bool:
+        """Advance one iteration/round; ``False`` once the job finished.
+
+        Raises :class:`IterationAborted` (carrying the partial result)
+        when the underlying run hits an unrecoverable I/O error; the
+        job is finished afterwards.
+        """
+        if self._done:
+            return False
+        engine = self._engine
+        try:
+            next(self._steps)
+        except StopIteration:
+            self._done = True
+            barrier = max(
+                (w.time for w in engine._workers), default=self.start_time
+            )
+            busy = sum(w.busy for w in engine._workers)
+            self._result = engine._make_result(
+                barrier - self.start_time, busy, self._base, engine._peak_messages
+            )
+            return False
+        except UnrecoverableIOError as exc:
+            self._done = True
+            raise engine._abort_run(
+                exc, self._base, engine._peak_messages, self.start_time
+            ) from exc
+        return True
+
+    def result(self) -> RunResult:
+        if self._result is None:
+            raise RuntimeError(
+                "the job has not finished cleanly (still running or aborted)"
+            )
+        return self._result
+
+
 class GraphEngine:
     """Runs a :class:`VertexProgram` over a :class:`GraphImage`."""
 
@@ -228,6 +300,30 @@ class GraphEngine:
         ``initial_active`` defaults to every vertex (PageRank/WCC style);
         traversals pass their start vertex.
         """
+        job = self.start_job(program, initial_active, max_iterations)
+        while job.step():
+            pass
+        return job.result()
+
+    def start_job(
+        self,
+        program: VertexProgram,
+        initial_active: Optional[np.ndarray] = None,
+        max_iterations: Optional[int] = None,
+        start_time: float = 0.0,
+    ) -> "EngineJob":
+        """Set up a run and return it as a steppable :class:`EngineJob`.
+
+        Performs everything :meth:`run` does up to the loop (file
+        attachment, program install, base counter snapshot, worker and
+        scheduler construction, resume handling), then hands back a job
+        whose :meth:`EngineJob.step` advances one iteration/round at a
+        time.  ``start_time`` seeds every worker clock, so a service can
+        start jobs mid-timeline on the shared DES clock; the returned
+        result's ``runtime`` is still relative to the job's own start.
+        One engine drives one job at a time — the job borrows the
+        engine's mutable state until it finishes.
+        """
         if self.config.mode is ExecutionMode.SEMI_EXTERNAL:
             self._ensure_files_attached()
         self.program = program
@@ -241,6 +337,9 @@ class GraphEngine:
             # reports the ratio; v1 runs never touch the name.
             self.stats.set(reg.GRAPH_COMPRESSION_RATIO, self.image.compression_ratio())
         self._workers = [_Worker(i) for i in range(self.config.num_threads)]
+        if start_time:
+            for worker in self._workers:
+                worker.time = start_time
         custom = None
         if self.config.schedule_order is ScheduleOrder.CUSTOM:
             custom = program.custom_order
@@ -268,21 +367,18 @@ class GraphEngine:
                 # their priority state for a bit-identical continuation.
                 policy.restore_state(exec_state)
 
-        manager = self._checkpoint_manager
-        every = self._checkpoint_every
-        try:
-            policy.run_loop(
-                self, frontier, scheduler, max_iterations, base, manager, every
-            )
-        except UnrecoverableIOError as exc:
-            raise self._abort_run(exc, base, self._peak_messages) from exc
-
-        barrier = max((w.time for w in self._workers), default=0.0)
-        busy = sum(w.busy for w in self._workers)
-        return self._make_result(barrier, busy, base, self._peak_messages)
+        steps = policy.steps(
+            self, frontier, scheduler, max_iterations, base,
+            self._checkpoint_manager, self._checkpoint_every,
+        )
+        return EngineJob(self, steps, base, start_time)
 
     def _abort_run(
-        self, cause: UnrecoverableIOError, base: Dict[str, float], peak_messages: int
+        self,
+        cause: UnrecoverableIOError,
+        base: Dict[str, float],
+        peak_messages: int,
+        start_time: float = 0.0,
     ) -> "IterationAborted":
         """Build the clean abort for an unrecoverable I/O error.
 
@@ -300,10 +396,10 @@ class GraphEngine:
         if self._messages is not None:
             self._messages.clear()
         self.stats.add(reg.FAULTS_ABORTED_ITERATIONS)
-        barrier = max((w.time for w in self._workers), default=0.0)
+        barrier = max((w.time for w in self._workers), default=start_time)
         barrier = max(barrier, cause.time)
         busy = sum(w.busy for w in self._workers)
-        partial = self._make_result(barrier, busy, base, peak_messages)
+        partial = self._make_result(barrier - start_time, busy, base, peak_messages)
         return IterationAborted(self.iteration, cause, partial)
 
     # ------------------------------------------------------------------

@@ -57,16 +57,27 @@ class ExecutionPolicy:
 
     kind: ExecutionKind
 
-    def run_loop(
+    def steps(
         self, engine, frontier, scheduler, max_iterations, base, manager, every
-    ) -> None:
-        """Execute rounds/iterations until convergence or the cap.
+    ):
+        """Generator over iterations/rounds: one ``yield`` per barrier.
 
         Mutates ``engine`` (clocks, counters, ``iteration``,
         ``_peak_messages``) exactly as the pre-policy loop did; the
-        engine turns the aftermath into a :class:`RunResult`.
+        engine turns the aftermath into a :class:`RunResult`.  Yielding
+        at the barrier is what lets a service interleave many jobs on
+        one DES clock — a batch run just drains the generator.
         """
         raise NotImplementedError
+
+    def run_loop(
+        self, engine, frontier, scheduler, max_iterations, base, manager, every
+    ) -> None:
+        """Drain :meth:`steps` to convergence or the cap."""
+        for _ in self.steps(
+            engine, frontier, scheduler, max_iterations, base, manager, every
+        ):
+            pass
 
     def export_state(self) -> Optional[dict]:
         """Policy state a checkpoint must carry (``None`` = stateless)."""
@@ -93,9 +104,9 @@ class SyncExecution(ExecutionPolicy):
 
     kind = ExecutionKind.SYNC
 
-    def run_loop(
+    def steps(
         self, engine, frontier, scheduler, max_iterations, base, manager, every
-    ) -> None:
+    ):
         while frontier.size or engine._messages.pending:
             if max_iterations is not None and engine.iteration >= max_iterations:
                 break
@@ -114,6 +125,7 @@ class SyncExecution(ExecutionPolicy):
                         frontier, engine._peak_messages, base, scheduler
                     )
                 )
+            yield engine.iteration
 
 
 class AsyncExecution(ExecutionPolicy):
@@ -131,9 +143,9 @@ class AsyncExecution(ExecutionPolicy):
 
     # -- the round loop -------------------------------------------------
 
-    def run_loop(
+    def steps(
         self, engine, frontier, scheduler, max_iterations, base, manager, every
-    ) -> None:
+    ):
         program = engine.program
         if program.residuals is None:
             raise ValueError(
@@ -183,6 +195,7 @@ class AsyncExecution(ExecutionPolicy):
                         execution=self.export_state(),
                     )
                 )
+            yield engine.iteration
 
     def _select(self, active: np.ndarray) -> np.ndarray:
         """The round's vertices: the top-priority slice plus everyone

@@ -111,11 +111,35 @@ WRITE_HOST_PAGES = "write.host_pages"
 WRITE_FLASH_PAGES_PROGRAMMED = "write.flash_pages_programmed"
 WRITE_SECONDS = "write.seconds"
 
+# --- serve.* (the multi-tenant service layer) ---------------------------
+SERVE_JOBS_ADMITTED = "serve.jobs_admitted"
+SERVE_JOBS_COMPLETED = "serve.jobs_completed"
+SERVE_JOBS_ABORTED = "serve.jobs_aborted"
+SERVE_QUOTA_WAITS = "serve.quota_waits"
+
 #: Every counter name the stack may legitimately touch.
 KNOWN_COUNTERS = frozenset(
     value
     for key, value in list(globals().items())
     if key.isupper() and isinstance(value, str) and "." in value
+)
+
+#: Counter *families*: per-tenant counters are named
+#: ``<family>.<tenant>`` (tenant names are dot-free), so the family
+#: prefix — not each member — is the registered constant, mirroring the
+#: per-device histogram convention.
+SERVE_TENANT_JOBS = "serve.tenant_jobs"
+SERVE_TENANT_ABORTS = "serve.tenant_aborts"
+SERVE_TENANT_BUSY_SECONDS = "serve.tenant_busy_seconds"
+SERVE_TENANT_QUOTA_WAITS = "serve.tenant_quota_waits"
+
+KNOWN_COUNTER_FAMILIES = frozenset(
+    {
+        SERVE_TENANT_JOBS,
+        SERVE_TENANT_ABORTS,
+        SERVE_TENANT_BUSY_SECONDS,
+        SERVE_TENANT_QUOTA_WAITS,
+    }
 )
 
 # --- histograms ---------------------------------------------------------
@@ -128,6 +152,11 @@ HIST_SSD_QUEUE_DEPTH = "ssd.queue_depth"
 HIST_IO_MERGE_RUN_LENGTH = "io.merge_run_length"
 #: Retries spent before a per-device run completed.
 HIST_IO_RETRIES_PER_REQUEST = "io.retries_per_request"
+#: End-to-end query latency (arrival → completion, seconds); one
+#: histogram per tenant, named ``serve.query_seconds.<tenant>``.
+HIST_SERVE_QUERY_SECONDS = "serve.query_seconds"
+#: Admission-queue wait (arrival → admission, seconds), per tenant.
+HIST_SERVE_QUEUE_WAIT_SECONDS = "serve.queue_wait_seconds"
 
 #: Fixed ascending bucket upper bounds per histogram family; a value
 #: above the last bound lands in the overflow bucket.
@@ -138,6 +167,12 @@ HISTOGRAM_BOUNDS = {
     HIST_SSD_QUEUE_DEPTH: (0, 1, 2, 4, 8, 16, 32, 64),
     HIST_IO_MERGE_RUN_LENGTH: (1, 2, 4, 8, 16, 32, 64, 128),
     HIST_IO_RETRIES_PER_REQUEST: (0, 1, 2, 3, 4, 8),
+    HIST_SERVE_QUERY_SECONDS: (
+        1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1.0,
+    ),
+    HIST_SERVE_QUEUE_WAIT_SECONDS: (
+        1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0,
+    ),
 }
 
 # --- gauges (time series sampled at iteration barriers) -----------------
@@ -171,5 +206,15 @@ def histogram_bounds(name: str):
 
 
 def unknown_counters(names) -> list:
-    """The subset of ``names`` not in :data:`KNOWN_COUNTERS`, sorted."""
-    return sorted(set(names) - KNOWN_COUNTERS)
+    """The subset of ``names`` outside the registry, sorted.
+
+    A name is known when it is in :data:`KNOWN_COUNTERS` directly or its
+    ``<family>.<member>`` prefix is in :data:`KNOWN_COUNTER_FAMILIES`
+    (the per-tenant counters).
+    """
+    unknown = set(names) - KNOWN_COUNTERS
+    return sorted(
+        name
+        for name in unknown
+        if name.rsplit(".", 1)[0] not in KNOWN_COUNTER_FAMILIES
+    )

@@ -258,9 +258,20 @@ class SAFS:
         return len(self.cache) * self.config.page_size
 
     def reset_timing(self) -> None:
-        """Clear device queues, rebuilds, health history and the cache
-        for a fresh timed run."""
+        """Clear device queues, rebuilds, health history, the cache and
+        the shared counters for a fresh timed run.
+
+        Resetting the :class:`StatsCollector` is load-bearing for
+        back-to-back jobs in one process: float counters that keep
+        accumulating across jobs make ``diff`` from a non-zero base
+        round differently than accumulation from zero, so the second
+        job's counter stream would drift from a fresh stack's in the
+        last few ulps (``tests/core/test_sequential_jobs.py``).
+        Histograms and gauges reset with it; snapshot a
+        :class:`~repro.obs.spans.Observer` first if you need them.
+        """
         self.array.reset()
         if self.health is not None:
             self.health.reset()
         self.cache.clear()
+        self.stats.reset()

@@ -55,6 +55,15 @@ class IOScheduler:
         self.stats = stats if stats is not None else StatsCollector()
         #: Armed observer (see :mod:`repro.obs`); ``None`` = no tracing.
         self.obs = None
+        #: Tenant whose job is currently dispatching (set by the serve
+        #: layer around each job step); ``None`` = untagged batch work.
+        self.tenant: Optional[str] = None
+        #: Optional per-tenant cache partitions (tenant name →
+        #: :class:`PageCache`).  When the current tenant has one, its
+        #: dispatches run against that partition instead of the shared
+        #: cache; everyone else keeps the shared cache, so batch runs
+        #: are untouched.
+        self.tenant_caches: Optional[dict] = None
         self._flash_per_page = flash_pages_per_safs_page(page_size)
         # Per-page checksums, engaged only when the stack can need them
         # (a fault plan injecting rot, or parity reconstruction): a bare
@@ -288,7 +297,15 @@ class IOScheduler:
             self.integrity.verify(file.file_id, page_no, data)
         return data
 
-    def _rollback_inserted(self, inserted) -> None:
+    def _current_cache(self) -> PageCache:
+        """The cache the current tenant's dispatches run against."""
+        if self.tenant_caches is not None and self.tenant is not None:
+            partition = self.tenant_caches.get(self.tenant)
+            if partition is not None:
+                return partition
+        return self.cache
+
+    def _rollback_inserted(self, cache: PageCache, inserted) -> None:
         """Drop pages cached by an aborted dispatch.
 
         An unrecoverable span leaves the cache as if the dispatch never
@@ -297,7 +314,7 @@ class IOScheduler:
         """
         dropped = 0
         for file_id, page_no in inserted:
-            if self.cache.invalidate(file_id, page_no):
+            if cache.invalidate(file_id, page_no):
                 dropped += 1
         if dropped:
             self.stats.add(reg.FAULTS_INVALIDATED_PAGES, dropped)
@@ -315,6 +332,7 @@ class IOScheduler:
         if merged.file.file_id not in self._file_bases:
             raise ValueError(f"file {merged.file.name!r} was never registered")
         cm = self.cost_model
+        cache = self._current_cache()
         cpu_cost = cm.cpu_per_io_request
         completion = issue_time
         pages_fetched = 0
@@ -324,7 +342,7 @@ class IOScheduler:
         spans: List[Tuple[int, int]] = []
         for page_no in range(merged.first_page, merged.last_page + 1):
             cpu_cost += cm.cpu_per_cache_lookup
-            if self.cache.lookup(merged.file.file_id, page_no) is None:
+            if cache.lookup(merged.file.file_id, page_no) is None:
                 if run_start is None:
                     run_start = page_no
             elif run_start is not None:
@@ -345,7 +363,7 @@ class IOScheduler:
             try:
                 done = self._fetch_extent(issue_time, flash_first, flash_count)
             except UnrecoverableIOError:
-                self._rollback_inserted(inserted)
+                self._rollback_inserted(cache, inserted)
                 raise
             if done > completion:
                 completion = done
@@ -354,7 +372,7 @@ class IOScheduler:
                 data = merged.file.read_page(page_no, self.page_size)
                 if self.integrity is not None:
                     self.integrity.verify(merged.file.file_id, page_no, data)
-                self.cache.insert(Page(merged.file.file_id, page_no, data))
+                cache.insert(Page(merged.file.file_id, page_no, data))
                 inserted.append((merged.file.file_id, page_no))
 
         cpu_cost += pages_fetched * self._flash_per_page * cm.cpu_per_page_transfer
@@ -376,12 +394,13 @@ class IOScheduler:
         if file.file_id not in self._file_bases:
             raise ValueError(f"file {file.name!r} was never registered")
         cm = self.cost_model
+        cache = self._current_cache()
         completion = issue_time
         pages_fetched = 0
         num_pages = last_page - first_page + 1
         cpu_cost = self._issue_cost(num_pages)
 
-        hit_mask = self.cache.lookup_range(file.file_id, first_page, last_page)
+        hit_mask = cache.lookup_range(file.file_id, first_page, last_page)
         if hit_mask.all():
             runs: List[Tuple[int, int]] = []
         else:
@@ -411,12 +430,12 @@ class IOScheduler:
             try:
                 done = self._fetch_extent(issue_time, flash_first, flash_count)
             except UnrecoverableIOError:
-                self._rollback_inserted(inserted)
+                self._rollback_inserted(cache, inserted)
                 raise
             if done > completion:
                 completion = done
             pages_fetched += length
-            self.cache.insert_range(
+            cache.insert_range(
                 Page(file.file_id, page_no, self._verified_page(file, page_no))
                 for page_no in range(start, start + length)
             )

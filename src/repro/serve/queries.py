@@ -1,0 +1,141 @@
+"""Query construction: one arrival's app name → a runnable program.
+
+The factory owns the per-service invariants a query needs — the shared
+graph image, the default BFS source (highest out-degree, the harness
+convention), the optional undirected image k-core requires, and the
+k-core degree vector (computed once, not per query) — so building a
+query per arrival is cheap and deterministic.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.bfs import BFSProgram
+from repro.algorithms.kcore import KCoreProgram
+from repro.algorithms.pagerank import DEFAULT_MAX_ITERATIONS, PageRankProgram
+from repro.algorithms.wcc import WCCProgram
+from repro.core.vertex_program import VertexProgram
+from repro.graph.builder import GraphImage
+
+
+@dataclass
+class Query:
+    """One runnable query: the program plus its run() arguments."""
+
+    app: str
+    image: GraphImage
+    program: VertexProgram
+    initial_active: Optional[np.ndarray]
+    max_iterations: Optional[int]
+    #: Extracts the algorithm's output vector from ``program`` after the
+    #: run (used by the chaos suite to check results).
+    values: Callable[[], np.ndarray]
+
+
+class QueryFactory:
+    """Builds :class:`Query` objects for a service's app mix.
+
+    Supported apps: ``pr`` (delta PageRank capped at ``pr_iterations``),
+    ``pr30`` (the paper's 30-iteration run), ``bfs``, ``wcc``, and
+    ``kcore`` when an undirected image is supplied (k-core peeling is
+    undefined on a directed image, so without one the app is simply not
+    offered).
+    """
+
+    def __init__(
+        self,
+        image: GraphImage,
+        undirected_image: Optional[GraphImage] = None,
+        pr_iterations: int = 5,
+        kcore_k: int = 4,
+        source: Optional[int] = None,
+    ) -> None:
+        if pr_iterations < 1:
+            raise ValueError("pr_iterations must be at least 1")
+        self.image = image
+        self.undirected_image = undirected_image
+        self.pr_iterations = pr_iterations
+        self.kcore_k = kcore_k
+        if source is None:
+            source = int(np.argmax(image.out_csr.degrees()))
+        self.source = source
+        self._kcore_degrees: Optional[np.ndarray] = None
+        self._builders: Dict[str, Callable[[], Query]] = {
+            "pr": lambda: self._pagerank(self.pr_iterations),
+            "pr30": lambda: self._pagerank(DEFAULT_MAX_ITERATIONS),
+            "bfs": self._bfs,
+            "wcc": self._wcc,
+        }
+        if undirected_image is not None:
+            self._builders["kcore"] = self._kcore
+
+    def supported_apps(self) -> Tuple[str, ...]:
+        return tuple(self._builders)
+
+    def build(self, app: str) -> Query:
+        try:
+            builder = self._builders[app]
+        except KeyError:
+            raise ValueError(
+                f"unsupported app {app!r} (supported: "
+                f"{', '.join(self._builders)})"
+            ) from None
+        return builder()
+
+    def _pagerank(self, max_iterations: int) -> Query:
+        program = PageRankProgram(self.image.num_vertices)
+        return Query(
+            app="pr",
+            image=self.image,
+            program=program,
+            initial_active=None,
+            max_iterations=max_iterations,
+            values=lambda: program.rank + program.pending,
+        )
+
+    def _bfs(self) -> Query:
+        program = BFSProgram(self.image.num_vertices)
+        return Query(
+            app="bfs",
+            image=self.image,
+            program=program,
+            initial_active=np.asarray([self.source]),
+            max_iterations=None,
+            values=lambda: program.level,
+        )
+
+    def _wcc(self) -> Query:
+        program = WCCProgram(self.image.num_vertices)
+        return Query(
+            app="wcc",
+            image=self.image,
+            program=program,
+            initial_active=None,
+            max_iterations=None,
+            values=lambda: program.component,
+        )
+
+    def _kcore(self) -> Query:
+        image = self.undirected_image
+        if self._kcore_degrees is None:
+            # Self-loops do not contribute to core degree (the same
+            # correction repro.algorithms.kcore.kcore applies per run).
+            degrees = image.out_csr.degrees().astype(np.int64)
+            for vertex in range(image.num_vertices):
+                neighbors = image.out_csr.neighbors(vertex)
+                if neighbors.size and np.any(neighbors == vertex):
+                    degrees[vertex] -= 1
+            self._kcore_degrees = degrees
+        program = KCoreProgram(
+            image.num_vertices, self.kcore_k, self._kcore_degrees.copy()
+        )
+        return Query(
+            app="kcore",
+            image=image,
+            program=program,
+            initial_active=None,
+            max_iterations=None,
+            values=lambda: program.alive,
+        )

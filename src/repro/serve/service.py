@@ -1,0 +1,524 @@
+"""The long-lived multi-tenant graph-query service.
+
+:class:`GraphService` owns one SAFS stack — page cache, I/O scheduler,
+SSD array — and runs many algorithm jobs against it concurrently on the
+shared DES clock.  Each admitted query becomes an
+:class:`~repro.core.engine.EngineJob` (its own engine object, sharing
+the service's SAFS and stats); the event loop always advances the job
+with the smallest virtual clock, so jobs contend for device queues and
+the cache exactly the way the engine's own worker threads already do.
+
+Scheduling policies (``ServiceConfig.policy``):
+
+- ``fifo`` — arrival order;
+- ``fair`` — weighted fair share: admit the tenant with the least
+  attributed device-busy time per unit weight, with starvation aging
+  (a query waiting longer than ``starvation_bound_s`` jumps the queue);
+- ``deadline`` — earliest deadline first over each tenant's
+  ``deadline_s``.
+
+A single-job service run replays the batch engine's code path operation
+for operation, so its simulated counters are bit-identical to the
+equivalent ``repro run`` — the serving tests pin this.
+"""
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import EngineConfig, ExecutionMode
+from repro.core.engine import EngineJob, GraphEngine, IterationAborted, RunResult
+from repro.graph.builder import GraphImage
+from repro.obs import registry as reg
+from repro.safs.filesystem import SAFS, SAFSConfig
+from repro.safs.page import SAFSFile
+from repro.safs.page_cache import PageCache, PageCacheConfig
+from repro.serve.admission import AdmissionController
+from repro.serve.queries import Query, QueryFactory
+from repro.serve.tenants import TenantAccountant, TenantSpec
+from repro.serve.traffic import Arrival
+from repro.sim.cost_model import CostModel
+from repro.sim.faults import FaultPlan, FaultPolicy
+from repro.sim.health import HealthPolicy
+from repro.sim.parity import ParityConfig
+from repro.sim.ssd_array import SSDArray, SSDArrayConfig
+
+SCHEDULING_POLICIES = ("fifo", "fair", "deadline")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-wide knobs (engine knobs mirror the bench harness)."""
+
+    cache_bytes: int = 1 << 20
+    page_size: int = 4096
+    num_threads: int = 32
+    range_shift: int = 8
+    #: Admission scheduling policy: "fifo", "fair" or "deadline".
+    policy: str = "fair"
+    #: Fair mode: a query waiting this long (simulated seconds) is
+    #: admitted ahead of any share comparison — the no-starvation bound.
+    starvation_bound_s: float = 0.05
+    #: Iteration cap for "pr" queries ("pr30" always runs the paper's 30).
+    pr_iterations: int = 5
+    #: k for "kcore" queries.
+    kcore_k: int = 4
+
+    def __post_init__(self) -> None:
+        if self.policy not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {self.policy!r} "
+                f"(one of {', '.join(SCHEDULING_POLICIES)})"
+            )
+        if self.starvation_bound_s <= 0.0:
+            raise ValueError("starvation_bound_s must be positive")
+
+
+@dataclass
+class JobRecord:
+    """One query's lifecycle, for reports and assertions."""
+
+    tenant: str
+    app: str
+    arrival_time: float
+    start_time: float
+    finish_time: float
+    ok: bool
+    iterations: int
+    result: RunResult
+    #: The algorithm's output vector (program state at completion).
+    values: object = None
+    abort_reason: Optional[str] = None
+
+    @property
+    def latency(self) -> float:
+        return self.finish_time - self.arrival_time
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start_time - self.arrival_time
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """The q-quantile by rank (deterministic, no interpolation)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class TenantReport:
+    """One tenant's service-level outcome."""
+
+    tenant: str
+    jobs: int = 0
+    aborts: int = 0
+    quota_waits: int = 0
+    busy_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    queue_waits: List[float] = field(default_factory=list)
+
+    def latency_quantile(self, q: float) -> float:
+        return _quantile(sorted(self.latencies), q)
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "aborts": self.aborts,
+            "quota_waits": self.quota_waits,
+            "busy_seconds": self.busy_seconds,
+            "latency_p50_s": self.latency_quantile(0.50),
+            "latency_p95_s": self.latency_quantile(0.95),
+            "latency_p99_s": self.latency_quantile(0.99),
+            "max_queue_wait_s": max(self.queue_waits, default=0.0),
+        }
+
+
+@dataclass
+class ServiceReport:
+    """Everything one :meth:`GraphService.serve` call reports."""
+
+    policy: str
+    offered: int
+    completed: int
+    aborted: int
+    quota_waits: int
+    #: Makespan: the last job's finish time (simulated seconds).
+    duration_s: float
+    tenants: Dict[str, TenantReport]
+    records: List[JobRecord]
+
+    @property
+    def sustained_qps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        return _quantile(sorted(r.latency for r in self.records), q)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "offered": self.offered,
+            "completed": self.completed,
+            "aborted": self.aborted,
+            "quota_waits": self.quota_waits,
+            "duration_s": self.duration_s,
+            "sustained_qps": self.sustained_qps,
+            "latency_p50_s": self.latency_quantile(0.50),
+            "latency_p99_s": self.latency_quantile(0.99),
+            "tenants": {
+                name: report.to_dict()
+                for name, report in sorted(self.tenants.items())
+            },
+        }
+
+
+@dataclass
+class _Waiting:
+    arrival: Arrival
+    blocked_noted: bool = False
+
+
+@dataclass
+class _Running:
+    arrival: Arrival
+    start: float
+    query: Query
+    engine: GraphEngine
+    job: EngineJob
+    aborted: Optional[IterationAborted] = None
+
+
+class GraphService:
+    """Serves a query trace over one shared SAFS stack.
+
+    The stack is wired exactly like the bench harness wires a batch
+    engine (array → SAFS → engine, one shared :class:`StatsCollector`),
+    so a single-tenant serve run and the equivalent batch run produce
+    bit-identical simulated counters.  ``observer`` (an
+    :class:`~repro.obs.spans.Observer`) is armed on every job engine,
+    giving one cross-job span trace and per-tenant histograms.
+    """
+
+    def __init__(
+        self,
+        image: GraphImage,
+        tenants: Sequence[TenantSpec],
+        config: Optional[ServiceConfig] = None,
+        undirected_image: Optional[GraphImage] = None,
+        array_config: Optional[SSDArrayConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        health_policy: Optional[HealthPolicy] = None,
+        parity: Optional[ParityConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        observer=None,
+        source: Optional[int] = None,
+    ) -> None:
+        if not tenants:
+            raise ValueError("a service needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant names must be unique")
+        self.config = config or ServiceConfig()
+        self.tenants: Dict[str, TenantSpec] = {t.name: t for t in tenants}
+        # Pin the file-id counter (page-cache set hashing keys on file
+        # ids), the same idiom the CLI and benches use per run.
+        SAFSFile._next_id = 0
+        array = SSDArray(
+            array_config or SSDArrayConfig(),
+            fault_plan=fault_plan,
+            parity=parity,
+        )
+        self.safs = SAFS(
+            array,
+            SAFSConfig(
+                page_size=self.config.page_size,
+                cache_bytes=self.config.cache_bytes,
+            ),
+            stats=array.stats,
+            fault_policy=fault_policy,
+            health_policy=health_policy,
+        )
+        self.stats = self.safs.stats
+        self.cost_model = cost_model
+        self._engine_config = EngineConfig(
+            mode=ExecutionMode.SEMI_EXTERNAL,
+            num_threads=self.config.num_threads,
+            range_shift=self.config.range_shift,
+        )
+        self.queries = QueryFactory(
+            image,
+            undirected_image=undirected_image,
+            pr_iterations=self.config.pr_iterations,
+            kcore_k=self.config.kcore_k,
+            source=source,
+        )
+        self.admission = AdmissionController(self.tenants)
+        self.accountant = TenantAccountant(names)
+        self.accountant.install(array)
+        self.observer = observer
+        #: Per-tenant cache partitions (only tenants that asked for one).
+        self.cache_partitions: Dict[str, PageCache] = {}
+        for spec in tenants:
+            if spec.cache_bytes is not None:
+                self.cache_partitions[spec.name] = PageCache(
+                    PageCacheConfig(
+                        capacity_bytes=spec.cache_bytes,
+                        page_size=self.config.page_size,
+                        associativity=self.safs.config.cache_associativity,
+                        eviction=self.safs.config.cache_eviction,
+                    ),
+                    self.stats,
+                )
+        if self.cache_partitions:
+            self.safs.scheduler.tenant_caches = self.cache_partitions
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+
+    def serve(self, trace: Sequence[Arrival]) -> ServiceReport:
+        """Run ``trace`` to completion and report.
+
+        One call per service instance: the report's counters are written
+        into the shared stats at the end (never mid-run, so per-job
+        counter diffs stay unperturbed).
+        """
+        for earlier, later in zip(trace, trace[1:]):
+            if later.time < earlier.time:
+                raise ValueError("the trace must be sorted by arrival time")
+        pending = deque(trace)
+        waiting: List[_Waiting] = []
+        running: List[_Running] = []
+        reports = {name: TenantReport(tenant=name) for name in self.tenants}
+        records: List[JobRecord] = []
+        free_at: Dict[str, float] = {name: 0.0 for name in self.tenants}
+        completed = aborted = 0
+
+        while pending or waiting or running:
+            if running:
+                frontier = min(r.job.clock for r in running)
+            elif waiting:
+                # Every waiter is admissible (a blocked waiter implies a
+                # running job of its tenant), so admission below starts
+                # at least one job.
+                frontier = -math.inf
+            else:
+                frontier = pending[0].time
+            while pending and pending[0].time <= frontier:
+                waiting.append(_Waiting(pending.popleft()))
+            self._admit(waiting, running, free_at, frontier)
+            if not running:
+                continue
+            current = min(running, key=lambda r: (r.job.clock, r.arrival.index))
+            if not self._step(current):
+                running.remove(current)
+                record = self._finalize(current, free_at, reports)
+                records.append(record)
+                if record.ok:
+                    completed += 1
+                else:
+                    aborted += 1
+
+        for name, report in reports.items():
+            report.quota_waits = self.admission.quota_waits[name]
+        for name, busy in self.accountant.busy_by_tenant().items():
+            if name in reports:
+                reports[name].busy_seconds = busy
+        self._write_serve_counters(reports, completed, aborted)
+        return ServiceReport(
+            policy=self.config.policy,
+            offered=len(trace),
+            completed=completed,
+            aborted=aborted,
+            quota_waits=self.admission.total_quota_waits(),
+            duration_s=max((r.finish_time for r in records), default=0.0),
+            tenants=reports,
+            records=records,
+        )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def _order_key(self, waiter: _Waiting):
+        arrival = waiter.arrival
+        spec = self.tenants[arrival.tenant]
+        if self.config.policy == "fifo":
+            return (arrival.time, arrival.index)
+        if self.config.policy == "deadline":
+            deadline = (
+                arrival.time + spec.deadline_s
+                if spec.deadline_s is not None
+                else math.inf
+            )
+            return (deadline, arrival.time, arrival.index)
+        share = self.accountant.usage[arrival.tenant] / spec.weight
+        return (share, arrival.time, arrival.index)
+
+    def _admit(
+        self,
+        waiting: List[_Waiting],
+        running: List[_Running],
+        free_at: Dict[str, float],
+        now: float,
+    ) -> None:
+        while waiting:
+            candidates = []
+            for waiter in waiting:
+                if self.admission.can_admit(waiter.arrival.tenant):
+                    candidates.append(waiter)
+                elif not waiter.blocked_noted:
+                    waiter.blocked_noted = True
+                    self.admission.note_quota_wait(waiter.arrival.tenant)
+            if not candidates:
+                return
+            pick = None
+            if self.config.policy == "fair" and math.isfinite(now):
+                # Starvation aging: anyone past the bound is admitted
+                # longest-waiting first, regardless of share.
+                starved = [
+                    w
+                    for w in candidates
+                    if now - w.arrival.time >= self.config.starvation_bound_s
+                ]
+                if starved:
+                    pick = min(
+                        starved, key=lambda w: (w.arrival.time, w.arrival.index)
+                    )
+            if pick is None:
+                pick = min(candidates, key=self._order_key)
+            waiting.remove(pick)
+            self._start(pick, running, free_at)
+
+    def _start(
+        self,
+        waiter: _Waiting,
+        running: List[_Running],
+        free_at: Dict[str, float],
+    ) -> None:
+        arrival = waiter.arrival
+        tenant = arrival.tenant
+        # A query that was ever blocked starts when its slot freed, not
+        # at its (earlier) arrival; a never-blocked query starts on
+        # arrival.
+        if waiter.blocked_noted:
+            start = max(arrival.time, free_at[tenant])
+        else:
+            start = arrival.time
+        self.admission.admit(tenant)
+        query = self.queries.build(arrival.app)
+        engine = GraphEngine(
+            query.image,
+            safs=self.safs,
+            config=self._engine_config,
+            cost_model=self.cost_model,
+        )
+        if self.observer is not None:
+            from repro.obs.spans import arm
+
+            arm(engine, self.observer)
+        job = engine.start_job(
+            query.program,
+            initial_active=query.initial_active,
+            max_iterations=query.max_iterations,
+            start_time=start,
+        )
+        running.append(
+            _Running(
+                arrival=arrival, start=start, query=query, engine=engine, job=job
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Job stepping
+    # ------------------------------------------------------------------
+
+    def _step(self, run: _Running) -> bool:
+        """One iteration of ``run``'s job, tagged with its tenant."""
+        scheduler = self.safs.scheduler
+        scheduler.tenant = run.arrival.tenant
+        self.accountant.current = run.arrival.tenant
+        try:
+            return run.job.step()
+        except IterationAborted as exc:
+            run.aborted = exc
+            return False
+        finally:
+            scheduler.tenant = None
+            self.accountant.current = None
+
+    def _finalize(
+        self,
+        run: _Running,
+        free_at: Dict[str, float],
+        reports: Dict[str, TenantReport],
+    ) -> JobRecord:
+        tenant = run.arrival.tenant
+        self.admission.release(tenant)
+        if run.aborted is None:
+            result = run.job.result()
+            ok = True
+            reason = None
+        else:
+            result = run.aborted.partial
+            ok = False
+            reason = run.aborted.cause.reason
+        finish = run.start + result.runtime
+        free_at[tenant] = max(free_at[tenant], finish)
+        record = JobRecord(
+            tenant=tenant,
+            app=run.arrival.app,
+            arrival_time=run.arrival.time,
+            start_time=run.start,
+            finish_time=finish,
+            ok=ok,
+            iterations=result.iterations,
+            result=result,
+            values=run.query.values() if ok else None,
+            abort_reason=reason,
+        )
+        report = reports[tenant]
+        report.jobs += 1
+        if not ok:
+            report.aborts += 1
+        report.latencies.append(record.latency)
+        report.queue_waits.append(record.queue_wait)
+        # Histograms live outside counter snapshots/diffs, so recording
+        # them mid-run never perturbs any job's counter bit-identity.
+        self.stats.observe(
+            f"{reg.HIST_SERVE_QUERY_SECONDS}.{tenant}",
+            record.latency,
+            reg.histogram_bounds(reg.HIST_SERVE_QUERY_SECONDS),
+        )
+        self.stats.observe(
+            f"{reg.HIST_SERVE_QUEUE_WAIT_SECONDS}.{tenant}",
+            record.queue_wait,
+            reg.histogram_bounds(reg.HIST_SERVE_QUEUE_WAIT_SECONDS),
+        )
+        return record
+
+    def _write_serve_counters(
+        self, reports: Dict[str, TenantReport], completed: int, aborted: int
+    ) -> None:
+        """Tally the service's own counters, once, after the last job —
+        a mid-run add would leak into concurrent jobs' counter diffs."""
+        stats = self.stats
+        stats.add(reg.SERVE_JOBS_ADMITTED, completed + aborted)
+        stats.add(reg.SERVE_JOBS_COMPLETED, completed)
+        stats.add(reg.SERVE_JOBS_ABORTED, aborted)
+        stats.add(reg.SERVE_QUOTA_WAITS, self.admission.total_quota_waits())
+        busy = self.accountant.busy_by_tenant()
+        for name, report in sorted(reports.items()):
+            stats.add(f"{reg.SERVE_TENANT_JOBS}.{name}", report.jobs)
+            stats.add(f"{reg.SERVE_TENANT_ABORTS}.{name}", report.aborts)
+            stats.add(
+                f"{reg.SERVE_TENANT_BUSY_SECONDS}.{name}", busy.get(name, 0.0)
+            )
+            stats.add(
+                f"{reg.SERVE_TENANT_QUOTA_WAITS}.{name}",
+                self.admission.quota_waits[name],
+            )

@@ -1,0 +1,101 @@
+"""Tenant specifications and exact busy-time attribution.
+
+A tenant is a traffic class with a fair-share weight, a concurrency
+quota and (optionally) a completion deadline and a private page-cache
+partition.  The :class:`TenantAccountant` hooks every device's
+``tenant_sink`` so each service charge is attributed to the tenant whose
+job caused it — replaying a device's attributed charges in order
+reproduces its ``busy_time`` bit for bit, which is what lets the
+property tests assert that device time *tiles* across tenants exactly.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One traffic class and its service-level knobs."""
+
+    #: Tenant name; used as a metric label suffix, so it must be
+    #: non-empty and dot-free (``serve.query_seconds.<name>``).
+    name: str
+    #: Fair-share weight: admission favours the tenant with the lowest
+    #: ``device_busy / weight`` so heavier tenants earn more device time.
+    weight: float = 1.0
+    #: Concurrency quota: jobs running at once (never exceeded).
+    max_concurrent: int = 2
+    #: Completion deadline relative to arrival (EDF scheduling); ``None``
+    #: sorts last under the deadline policy.
+    deadline_s: Optional[float] = None
+    #: Private page-cache partition capacity; ``None`` shares the global
+    #: cache with every other unpartitioned tenant.
+    cache_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or "." in self.name:
+            raise ValueError(
+                f"tenant name {self.name!r} must be non-empty and dot-free "
+                "(it suffixes metric names)"
+            )
+        if self.weight <= 0.0:
+            raise ValueError("tenant weight must be positive")
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be at least 1")
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ValueError("deadline_s must be positive")
+        if self.cache_bytes is not None and self.cache_bytes <= 0:
+            raise ValueError("cache_bytes must be positive")
+
+
+class TenantAccountant:
+    """Attributes every device service charge to a tenant.
+
+    The service layer points :attr:`current` at the tenant whose job is
+    stepping; :meth:`sink` — installed as each device's ``tenant_sink``
+    — then records ``(tenant, service)`` per device in charge order.
+    Accumulating a device's recorded charges with the same ``+=`` the
+    device itself used reproduces ``SSD.busy_time`` bit-exactly
+    (:meth:`replay_busy`), so the per-tenant split is a true partition
+    of device time, not an approximation.
+    """
+
+    def __init__(self, names: Sequence[str]) -> None:
+        #: Tenant currently on the (virtual) CPU; ``None`` = untagged.
+        self.current: Optional[str] = None
+        #: Running per-tenant device-busy totals (fair-share input).
+        self.usage: Dict[str, float] = {name: 0.0 for name in names}
+        #: Per-device attributed charges, in charge order.
+        self.device_events: Dict[int, List[Tuple[Optional[str], float]]] = {}
+
+    def sink(self, device: int, service: float) -> None:
+        self.device_events.setdefault(device, []).append(
+            (self.current, service)
+        )
+        if self.current is not None:
+            self.usage[self.current] = (
+                self.usage.get(self.current, 0.0) + service
+            )
+
+    def install(self, array) -> None:
+        """Hook every device of ``array`` (data SSDs and hot spares)."""
+        for ssd in array.ssds:
+            ssd.tenant_sink = self.sink
+        for ssd in array.spares:
+            ssd.tenant_sink = self.sink
+
+    def replay_busy(self, device: int) -> float:
+        """``SSD.busy_time`` recomputed from the attributed charges."""
+        busy = 0.0
+        for _, service in self.device_events.get(device, []):
+            busy += service
+        return busy
+
+    def busy_by_tenant(self) -> Dict[str, float]:
+        """Total attributed device-busy seconds per tenant."""
+        totals: Dict[str, float] = {name: 0.0 for name in self.usage}
+        for events in self.device_events.values():
+            for tenant, service in events:
+                if tenant is not None:
+                    totals[tenant] = totals.get(tenant, 0.0) + service
+        return totals

@@ -90,6 +90,11 @@ class SSD:
         #: Armed observer (see :mod:`repro.obs`); ``None`` keeps the
         #: device on the exact legacy fast path.
         self.obs = None
+        #: Busy-time attribution callback ``(device_index, service)``,
+        #: fired for every service charge; the serve layer's tenant
+        #: accountant uses it to tile ``busy_time`` across tenants
+        #: exactly.  ``None`` = no attribution work.
+        self.tenant_sink = None
         self._busy_until = 0.0
         self._busy_time = 0.0
         # Monotone attempt ordinal: seeds the deterministic fault coin, so
@@ -162,6 +167,8 @@ class SSD:
             start = max(arrival_time, self._busy_until)
             self._busy_until = start + service
             self._busy_time += service
+            if self.tenant_sink is not None:
+                self.tenant_sink(self.device_index, service)
             self.stats.add(reg.SSD_REQUESTS)
             self.stats.add(reg.SSD_PAGES_READ, num_pages)
             self.stats.add(reg.SSD_BYTES_READ, num_pages * FLASH_PAGE_SIZE)
@@ -203,6 +210,8 @@ class SSD:
             self.stats.add(reg.FAULTS_SPIKED_REQUESTS)
         self._busy_until = start + service
         self._busy_time += service
+        if self.tenant_sink is not None:
+            self.tenant_sink(self.device_index, service)
         self.stats.add(reg.SSD_REQUESTS)
         self.stats.add(reg.SSD_PAGES_READ, num_pages)
         self.stats.add(reg.SSD_BYTES_READ, num_pages * FLASH_PAGE_SIZE)

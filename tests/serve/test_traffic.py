@@ -1,0 +1,112 @@
+"""The open-loop traffic generator: replayability, rates, bursts."""
+
+import numpy as np
+import pytest
+
+from repro.serve.traffic import Arrival, TenantTraffic, generate_trace
+
+TWO_TENANTS = [
+    TenantTraffic(tenant="acme", rate_qps=200.0, apps=("pr", "bfs", "wcc")),
+    TenantTraffic(tenant="globex", rate_qps=80.0, apps=("bfs", "wcc")),
+]
+
+
+class TestReplayability:
+    def test_same_seed_same_trace(self):
+        one = generate_trace(TWO_TENANTS, 2.0, seed=7)
+        two = generate_trace(TWO_TENANTS, 2.0, seed=7)
+        assert one == two  # dataclass equality: times, tenants, apps, indices
+
+    def test_different_seeds_differ(self):
+        one = generate_trace(TWO_TENANTS, 2.0, seed=7)
+        two = generate_trace(TWO_TENANTS, 2.0, seed=8)
+        assert one != two
+
+    def test_adding_a_tenant_never_perturbs_existing_arrivals(self):
+        # Per-tenant rng streams: acme's arrival times are a pure
+        # function of (its traffic, its index, the seed).
+        alone = generate_trace(TWO_TENANTS[:1], 2.0, seed=7)
+        merged = generate_trace(TWO_TENANTS, 2.0, seed=7)
+        acme_alone = [a.time for a in alone]
+        acme_merged = [a.time for a in merged if a.tenant == "acme"]
+        assert acme_merged == acme_alone
+
+
+class TestTraceShape:
+    def test_sorted_with_dense_indices(self):
+        trace = generate_trace(TWO_TENANTS, 2.0, seed=3)
+        times = [a.time for a in trace]
+        assert times == sorted(times)
+        assert [a.index for a in trace] == list(range(len(trace)))
+        assert all(0.0 <= a.time < 2.0 for a in trace)
+
+    def test_apps_come_from_each_tenants_mix(self):
+        trace = generate_trace(TWO_TENANTS, 2.0, seed=3)
+        for arrival in trace:
+            if arrival.tenant == "acme":
+                assert arrival.app in ("pr", "bfs", "wcc")
+            else:
+                assert arrival.app in ("bfs", "wcc")
+
+    def test_mean_rate_is_close_over_a_long_window(self):
+        traffic = TenantTraffic(tenant="t", rate_qps=100.0)
+        trace = generate_trace([traffic], 50.0, seed=1)
+        observed = len(trace) / 50.0
+        assert observed == pytest.approx(100.0, rel=0.1)
+
+    def test_zipf_default_weights_skew_toward_the_first_app(self):
+        traffic = TenantTraffic(tenant="t", rate_qps=200.0)
+        trace = generate_trace([traffic], 20.0, seed=5)
+        counts = {app: 0 for app in traffic.apps}
+        for arrival in trace:
+            counts[arrival.app] += 1
+        assert counts["pr"] > counts["bfs"] > counts["wcc"]
+
+
+class TestBursts:
+    BURSTY = TenantTraffic(
+        tenant="b", rate_qps=100.0, burst_factor=5.0, burst_fraction=0.1,
+        burst_period_s=0.1,
+    )
+
+    def test_burst_mean_rate_is_preserved(self):
+        trace = generate_trace([self.BURSTY], 50.0, seed=2)
+        assert len(trace) / 50.0 == pytest.approx(100.0, rel=0.1)
+
+    def test_on_windows_are_denser_than_off_windows(self):
+        trace = generate_trace([self.BURSTY], 50.0, seed=2)
+        period, frac = self.BURSTY.burst_period_s, self.BURSTY.burst_fraction
+        on = sum(1 for a in trace if (a.time % period) < frac * period)
+        off = len(trace) - on
+        on_rate = on / (50.0 * frac)
+        off_rate = off / (50.0 * (1.0 - frac))
+        # ON runs at 5x base; OFF at (1 - 0.5)/0.9 ~ 0.56x base.
+        assert on_rate > 3 * off_rate
+
+    def test_rate_at_integrates_to_the_mean(self):
+        times = np.linspace(0.0, 0.1, 10_001)[:-1]
+        mean = np.mean([self.BURSTY.rate_at(t) for t in times])
+        assert mean == pytest.approx(100.0, rel=0.01)
+
+
+class TestValidation:
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            TenantTraffic(tenant="t", rate_qps=0.0)
+
+    def test_burst_off_rate_must_stay_non_negative(self):
+        with pytest.raises(ValueError):
+            TenantTraffic(
+                tenant="t", rate_qps=10.0, burst_factor=4.0, burst_fraction=0.5
+            )
+
+    def test_duplicate_tenants_rejected(self):
+        traffic = TenantTraffic(tenant="t", rate_qps=10.0)
+        with pytest.raises(ValueError):
+            generate_trace([traffic, traffic], 1.0, seed=0)
+
+    def test_weights_must_match_apps(self):
+        with pytest.raises(ValueError):
+            TenantTraffic(
+                tenant="t", rate_qps=10.0, apps=("pr",), app_weights=(0.5, 0.5)
+            )

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.bench",
     "repro.obs",
+    "repro.serve",
 ]
 
 
