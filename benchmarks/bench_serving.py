@@ -23,9 +23,21 @@ Usage::
 clean run aborted a query, or if the lowest-QPS clean p99 exceeds
 ``--p99-budget-ms`` (default 25).  ``--smoke`` shrinks the sweep to the
 interactive mix at the two lower QPS points for CI.
+
+The **overload rows** drive the interactive shape (with deadlines and
+queue caps on the tenants) at 2x the top of the QPS grid under four
+control levels — ``no-control``, ``shed-only``, ``shed+deadline``,
+``full-brownout`` — clean and under chaos.  ``--check`` then gates the
+headline robustness claim: full-brownout under chaos keeps *served*
+p99 (completed queries — what a client who got an answer experienced)
+within :data:`OVERLOAD_P99_MULT` x the clean base p99 and its queue
+bounded, while no-control under the same overdrive does not; it also
+reruns the full-brownout chaos point and asserts the shed/abort/
+brownout event stream is byte-identical.
 """
 
 import argparse
+import hashlib
 import json
 import sys
 from pathlib import Path
@@ -33,6 +45,7 @@ from pathlib import Path
 from repro.bench.datasets import load_dataset
 from repro.serve import (
     GraphService,
+    OverloadConfig,
     ServiceConfig,
     TenantSpec,
     TenantTraffic,
@@ -101,6 +114,69 @@ def _uniform_mix(total_qps):
 
 MIXES = {"interactive": _interactive_mix, "uniform": _uniform_mix}
 
+#: Overdrive: 2x the top of the sweep — deliberately infeasible load.
+OVERDRIVE_QPS = QPS_GRID[-1] * 2.0
+
+#: --check: full-brownout chaos *served* p99 must stay within this
+#: multiple of the lowest-QPS clean interactive p99, and no-control
+#: chaos must exceed it (measured ~4x vs ~2500x; the margin absorbs
+#: timing noise without ever letting the two regimes overlap).
+OVERLOAD_P99_MULT = 12.0
+
+_OVERLOAD_CAPS = dict(
+    tenant_queue_cap=6, global_queue_cap=10, shed_policy="by-priority"
+)
+
+#: The four control levels of the overload rows, weakest to strongest.
+OVERLOAD_CONTROLS = {
+    "no-control": None,
+    "shed-only": OverloadConfig(**_OVERLOAD_CAPS),
+    "shed+deadline": OverloadConfig(**_OVERLOAD_CAPS, enforce_deadlines=True),
+    "full-brownout": OverloadConfig(
+        **_OVERLOAD_CAPS,
+        enforce_deadlines=True,
+        brownout=True,
+        window_s=0.02,
+        sample_period_s=0.001,
+        wait_budget_s=0.01,
+    ),
+}
+
+
+def _overload_mix(total_qps):
+    """The interactive shape, hardened for overload control: both
+    tenants carry deadlines and queue caps, and globex pays for full
+    fidelity (never degraded — it is shed or aborted instead)."""
+    tenants = [
+        TenantSpec(
+            name="acme",
+            weight=2.0,
+            max_concurrent=3,
+            deadline_s=0.05,
+            queue_cap=6,
+        ),
+        TenantSpec(
+            name="globex",
+            max_concurrent=2,
+            deadline_s=0.03,
+            queue_cap=4,
+            degradable=False,
+        ),
+    ]
+    traffics = [
+        TenantTraffic(
+            tenant="acme",
+            rate_qps=total_qps * 2.0 / 3.0,
+            apps=("pr", "bfs", "wcc"),
+            burst_factor=4.0,
+            burst_fraction=0.2,
+        ),
+        TenantTraffic(
+            tenant="globex", rate_qps=total_qps / 3.0, apps=("bfs", "wcc")
+        ),
+    ]
+    return tenants, traffics
+
 
 def run_point(image, mix, offered_qps, chaos, duration_s=DURATION_S):
     tenants, traffics = MIXES[mix](offered_qps)
@@ -135,51 +211,220 @@ def run_point(image, mix, offered_qps, chaos, duration_s=DURATION_S):
     }
 
 
+def _served_quantile(report, q):
+    """Latency quantile over successfully completed queries only."""
+    import math
+
+    served = sorted(r.latency for r in report.records if r.ok)
+    if not served:
+        return 0.0
+    rank = max(1, math.ceil(q * len(served)))
+    return served[min(rank, len(served)) - 1]
+
+
+def run_overload_point(image, control, chaos, duration_s=DURATION_S):
+    """One overdriven run under ``control`` (an OVERLOAD_CONTROLS key)."""
+    tenants, traffics = _overload_mix(OVERDRIVE_QPS)
+    trace = generate_trace(traffics, duration_s, seed=TRAFFIC_SEED)
+    service = GraphService(
+        image,
+        tenants,
+        ServiceConfig(policy="fair", overload=OVERLOAD_CONTROLS[control]),
+        fault_plan=CHAOS_PLAN if chaos else None,
+        fault_policy=CHAOS_POLICY if chaos else None,
+    )
+    report = service.serve(trace)
+    quota_ok = all(
+        service.admission.peak[t.name] <= t.max_concurrent for t in tenants
+    )
+    summary = report.overload or {}
+    events = summary.get("events", [])
+    row = {
+        "mix": "overload",
+        "variant": "chaos" if chaos else "clean",
+        "control": control,
+        "duration_s": duration_s,
+        "offered_qps": OVERDRIVE_QPS,
+        "offered": report.offered,
+        "completed": report.completed,
+        "aborted": report.aborted,
+        "shed": report.shed,
+        "deadline_aborts": report.deadline_aborts,
+        "quota_waits": report.quota_waits,
+        "quota_ok": quota_ok,
+        "shed_rate": round(report.shed / report.offered, 4),
+        "goodput_qps": round(report.sustained_qps, 2),
+        "sustained_qps": round(report.sustained_qps, 2),
+        "p50_ms": round(report.latency_quantile(0.50) * 1e3, 4),
+        "p99_ms": round(report.latency_quantile(0.99) * 1e3, 4),
+        # Served latency: quantile over successfully completed queries
+        # only (the SLO metric).  The all-admitted p99 above still
+        # counts deadline-aborted partials, whose latency is the cancel
+        # time — useful for seeing how late aborts land, but not what a
+        # client who got an answer experienced.
+        "p99_served_ms": round(_served_quantile(report, 0.99) * 1e3, 4),
+        "peak_queue_depth": summary.get("peak_queue_depth"),
+        "brownout_transitions": summary.get("transitions", 0),
+        "brownout_ms": round(summary.get("brownout_seconds", 0.0) * 1e3, 4),
+        "degraded": sum(summary.get("degraded_jobs", {}).values()),
+        # Digest of the shed/abort/brownout decision stream: same seed
+        # must reproduce it byte for byte (--check reruns and compares).
+        "events_digest": hashlib.sha256(
+            json.dumps(events, sort_keys=True).encode()
+        ).hexdigest(),
+    }
+    return row
+
+
 def run_all(smoke=False):
     image = load_dataset("twitter-sim")
     if smoke:
         points = [("interactive", qps) for qps in QPS_GRID[:2]]
         duration = DURATION_S / 2
+        overload_points = [
+            (control, True) for control in OVERLOAD_CONTROLS
+        ]
     else:
         points = [(mix, qps) for mix in MIXES for qps in QPS_GRID]
         duration = DURATION_S
+        overload_points = [
+            (control, chaos)
+            for control in OVERLOAD_CONTROLS
+            for chaos in (False, True)
+        ]
     rows = []
     for mix, qps in points:
         for chaos in (False, True):
             rows.append(run_point(image, mix, qps, chaos, duration))
+    for control, chaos in overload_points:
+        rows.append(run_overload_point(image, control, chaos, duration))
     return rows
 
 
 def format_markdown(rows):
     lines = [
-        "| mix | variant | offered QPS | sustained QPS | completed | aborted "
-        "| quota waits | p50 ms | p99 ms |",
-        "|---|---|---|---|---|---|---|---|---|",
+        "| mix | variant | control | offered QPS | sustained QPS | completed "
+        "| aborted | shed | quota waits | p50 ms | p99 ms |",
+        "|---|---|---|---|---|---|---|---|---|---|---|",
     ]
     for row in rows:
         lines.append(
-            f"| {row['mix']} | {row['variant']} | {row['offered_qps']:g} "
+            f"| {row['mix']} | {row['variant']} | {row.get('control', '-')} "
+            f"| {row['offered_qps']:g} "
             f"| {row['sustained_qps']:g} | {row['completed']} "
-            f"| {row['aborted']} | {row['quota_waits']} "
+            f"| {row['aborted']} | {row.get('shed', 0)} "
+            f"| {row['quota_waits']} "
             f"| {row['p50_ms']:.3f} | {row['p99_ms']:.3f} |"
         )
     return "\n".join(lines) + "\n"
 
 
+def _row_label(row):
+    label = f"{row['mix']}/{row['variant']}@{row['offered_qps']:g}qps"
+    if "control" in row:
+        label += f"/{row['control']}"
+    return label
+
+
+def _check_overload(rows, base_p99_ms):
+    """The overload-row gates (see the module docstring)."""
+    failed = False
+    overload = [r for r in rows if r["mix"] == "overload"]
+    if not overload:
+        return False
+    for row in overload:
+        label = _row_label(row)
+        served = row["completed"] + row["aborted"] + row["shed"]
+        if served != row["offered"]:
+            print(
+                f"FAIL {label}: {row['offered'] - served} arrivals "
+                "unaccounted (completed + aborted + shed != offered)",
+                file=sys.stderr,
+            )
+            failed = True
+        if row["control"] == "no-control":
+            continue
+        cap = _OVERLOAD_CAPS["global_queue_cap"]
+        if row["peak_queue_depth"] > cap:
+            print(
+                f"FAIL {label}: peak queue depth {row['peak_queue_depth']} "
+                f"burst the global cap of {cap}",
+                file=sys.stderr,
+            )
+            failed = True
+        if row["shed"] <= 0:
+            print(
+                f"FAIL {label}: overdrive shed nothing (shed-rate 0)",
+                file=sys.stderr,
+            )
+            failed = True
+    # The headline gate compares *served* p99 (completed queries): with
+    # full control a client who got an answer got it within a bounded
+    # multiple of the uncontended p99 even under chaos at 2x overdrive,
+    # while without control even successful answers take seconds.
+    bound = OVERLOAD_P99_MULT * base_p99_ms
+    for row in overload:
+        if row["variant"] != "chaos":
+            continue
+        label = _row_label(row)
+        if row["control"] == "full-brownout" and row["p99_served_ms"] > bound:
+            print(
+                f"FAIL {label}: served p99 {row['p99_served_ms']:.3f}ms "
+                f"burst the {OVERLOAD_P99_MULT:g}x-base bound of "
+                f"{bound:.3f}ms",
+                file=sys.stderr,
+            )
+            failed = True
+        if row["control"] == "no-control" and row["p99_served_ms"] <= bound:
+            print(
+                f"FAIL {label}: served p99 {row['p99_served_ms']:.3f}ms "
+                f"within the {bound:.3f}ms bound — overload control "
+                "shows no advantage over no control",
+                file=sys.stderr,
+            )
+            failed = True
+    # Byte-identical replay: rerun the strongest chaos point and compare
+    # its decision stream digest against the recorded one.
+    recorded = next(
+        (
+            r
+            for r in overload
+            if r["control"] == "full-brownout" and r["variant"] == "chaos"
+        ),
+        None,
+    )
+    if recorded is not None:
+        image = load_dataset("twitter-sim")
+        rerun = run_overload_point(
+            image, "full-brownout", True, recorded["duration_s"]
+        )
+        for key in ("events_digest", "completed", "aborted", "shed"):
+            if rerun[key] != recorded[key]:
+                print(
+                    f"FAIL overload determinism: {key} differs across "
+                    f"same-seed reruns ({recorded[key]!r} != {rerun[key]!r})",
+                    file=sys.stderr,
+                )
+                failed = True
+    return failed
+
+
 def check(rows, p99_budget_ms):
     failed = False
     for row in rows:
-        label = f"{row['mix']}/{row['variant']}@{row['offered_qps']:g}qps"
+        label = _row_label(row)
         if not row["quota_ok"]:
             print(f"FAIL {label}: tenant quota exceeded", file=sys.stderr)
             failed = True
+        if row["mix"] == "overload":
+            continue  # overload rows get their own conservation law below
         if row["completed"] + row["aborted"] != row["offered"]:
             print(f"FAIL {label}: arrivals went unserved", file=sys.stderr)
             failed = True
         if row["variant"] == "clean" and row["aborted"]:
             print(f"FAIL {label}: clean run aborted queries", file=sys.stderr)
             failed = True
-    clean = [r for r in rows if r["variant"] == "clean"]
+    clean = [r for r in rows if r["variant"] == "clean" and r["mix"] != "overload"]
     base = min(clean, key=lambda r: r["offered_qps"])
     if base["p99_ms"] > p99_budget_ms:
         print(
@@ -188,6 +433,7 @@ def check(rows, p99_budget_ms):
             file=sys.stderr,
         )
         failed = True
+    failed = _check_overload(rows, base["p99_ms"]) or failed
     print("serving check:", "FAILED" if failed else "ok")
     return 1 if failed else 0
 
@@ -205,6 +451,8 @@ def main() -> int:
                         "run (default 25)")
     parser.add_argument("--markdown", metavar="PATH",
                         help="also write the sweep as a Markdown table")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the raw sweep rows as JSON")
     args = parser.parse_args()
 
     rows = run_all(smoke=args.smoke)
@@ -215,6 +463,11 @@ def main() -> int:
     if args.markdown:
         Path(args.markdown).write_text(format_markdown(rows))
         print(f"wrote Markdown table -> {args.markdown}")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(rows, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote raw rows -> {args.json}")
     if args.check:
         return check(rows, args.p99_budget_ms)
     return 0

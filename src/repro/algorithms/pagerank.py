@@ -27,6 +27,10 @@ from repro.graph.types import EdgeType
 #: The paper caps PageRank at 30 iterations, matching Pregel.
 DEFAULT_MAX_ITERATIONS = 30
 
+#: Default propagation-stop threshold (see ``tolerance`` below); named
+#: so callers coarsening it (serving-layer brownout) share one source.
+DEFAULT_TOLERANCE = 1e-6
+
 
 class PageRankProgram(VertexProgram):
     """Accumulative (delta) PageRank."""
@@ -40,7 +44,7 @@ class PageRankProgram(VertexProgram):
         self,
         num_vertices: int,
         damping: float = 0.85,
-        tolerance: float = 1e-6,
+        tolerance: float = DEFAULT_TOLERANCE,
     ) -> None:
         if not 0.0 < damping < 1.0:
             raise ValueError("damping must lie in (0, 1)")

@@ -45,11 +45,13 @@ from repro.obs import (
 from repro.safs.page import SAFSFile
 from repro.serve import (
     GraphService,
+    OverloadConfig,
     ServiceConfig,
     TenantSpec,
     TenantTraffic,
     generate_trace,
 )
+from repro.serve.overload import SHED_POLICIES
 from repro.serve.service import SCHEDULING_POLICIES
 from repro.sim.faults import default_chaos_plan
 from repro.sim.health import HealthPolicy
@@ -204,6 +206,41 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--fault-seed", type=int, default=None,
         help="inject the default chaos plan, seeded",
+    )
+    serve.add_argument(
+        "--overload", action="store_true",
+        help="arm overload control: bounded queues with shedding, plus "
+        "deadline enforcement and brownout when their flags are set "
+        "(see docs/overload.md)",
+    )
+    serve.add_argument(
+        "--queue-cap", type=int, default=8,
+        help="per-tenant waiting-queue cap under --overload "
+        "(default: %(default)s; per-tenant queue-cap= overrides)",
+    )
+    serve.add_argument(
+        "--global-queue-cap", type=int, default=24,
+        help="global waiting-queue cap under --overload "
+        "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--shed-policy", choices=list(SHED_POLICIES),
+        default="reject-newest",
+        help="which query a full queue sheds (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--enforce-deadlines", action="store_true",
+        help="drop queued queries past their deadline and cancel "
+        "running jobs once the deadline is unreachable",
+    )
+    serve.add_argument(
+        "--brownout", action="store_true",
+        help="arm the overload detector + brownout state machine",
+    )
+    serve.add_argument(
+        "--brownout-pr-iterations", type=int, default=2,
+        help="iteration cap for pr queries admitted during brownout "
+        "(default: %(default)s)",
     )
     serve.add_argument(
         "--trace-spans",
@@ -386,8 +423,8 @@ def cmd_run(args) -> int:
 
 def _parse_tenant(spec: str):
     """``name=acme,rate=120[,weight=2][,quota=3][,apps=pr+bfs+wcc]
-    [,burst=4x0.2][,deadline=0.05][,cache-kb=256]`` → (TenantSpec,
-    TenantTraffic)."""
+    [,burst=4x0.2][,deadline=0.05][,cache-kb=256][,queue-cap=4]
+    [,degradable=0]`` → (TenantSpec, TenantTraffic)."""
     fields = {}
     for part in spec.split(","):
         if "=" not in part:
@@ -403,6 +440,8 @@ def _parse_tenant(spec: str):
     apps = tuple(fields.pop("apps", "pr+bfs+wcc").split("+"))
     deadline = fields.pop("deadline", None)
     cache_kb = fields.pop("cache-kb", None)
+    queue_cap = fields.pop("queue-cap", None)
+    degradable = fields.pop("degradable", "1") not in ("0", "false", "no")
     burst = fields.pop("burst", None)
     if fields:
         raise SystemExit(f"unknown tenant fields: {', '.join(sorted(fields))}")
@@ -422,6 +461,8 @@ def _parse_tenant(spec: str):
             max_concurrent=quota,
             deadline_s=float(deadline) if deadline else None,
             cache_bytes=int(float(cache_kb) * 1024) if cache_kb else None,
+            queue_cap=int(queue_cap) if queue_cap else None,
+            degradable=degradable,
         )
         traffic = TenantTraffic(
             tenant=name,
@@ -445,11 +486,27 @@ def cmd_serve(args) -> int:
     if args.fault_seed is not None:
         fault_plan = default_chaos_plan(args.fault_seed)
     observer = Observer() if args.trace_spans else None
+    overload = None
+    if args.overload:
+        overload = OverloadConfig(
+            tenant_queue_cap=args.queue_cap,
+            global_queue_cap=args.global_queue_cap,
+            shed_policy=args.shed_policy,
+            enforce_deadlines=args.enforce_deadlines,
+            brownout=args.brownout,
+            brownout_pr_iterations=args.brownout_pr_iterations,
+        )
+    elif args.enforce_deadlines or args.brownout:
+        raise SystemExit(
+            "--enforce-deadlines/--brownout need --overload to arm "
+            "overload control"
+        )
     config = ServiceConfig(
         cache_bytes=int(args.cache_mb * (1 << 20)),
         num_threads=args.threads,
         policy=args.policy,
         pr_iterations=args.pr_iterations,
+        overload=overload,
     )
     service = GraphService(
         image,
@@ -462,12 +519,23 @@ def cmd_serve(args) -> int:
     report = service.serve(trace)
     print(
         f"served {report.completed}/{report.offered} queries "
-        f"({report.aborted} aborted, {report.quota_waits} quota waits) "
+        f"({report.aborted} aborted, {report.shed} shed, "
+        f"{report.quota_waits} quota waits) "
         f"in {report.duration_s * 1e3:.3f} simulated ms "
         f"under the '{report.policy}' policy"
     )
+    if report.overload is not None:
+        summary = report.overload
+        print(
+            f"overload control: state={summary['state']} "
+            f"transitions={summary['transitions']} "
+            f"brownout={summary['brownout_seconds'] * 1e3:.3f}ms "
+            f"peak queue={summary['peak_queue_depth']} "
+            f"degraded={sum(summary['degraded_jobs'].values())} "
+            f"deadline aborts={sum(summary['deadline_aborts'].values())}"
+        )
     header = (
-        f"{'tenant':<12} {'jobs':>5} {'aborts':>6} {'p50 ms':>9} "
+        f"{'tenant':<12} {'jobs':>5} {'aborts':>6} {'shed':>5} {'p50 ms':>9} "
         f"{'p99 ms':>9} {'max wait ms':>12} {'busy ms':>9}"
     )
     print(header)
@@ -475,6 +543,7 @@ def cmd_serve(args) -> int:
         row = tenant_report.to_dict()
         print(
             f"{name:<12} {row['jobs']:>5} {row['aborts']:>6} "
+            f"{row['shed']:>5} "
             f"{row['latency_p50_s'] * 1e3:>9.3f} "
             f"{row['latency_p99_s'] * 1e3:>9.3f} "
             f"{row['max_queue_wait_s'] * 1e3:>12.3f} "

@@ -73,6 +73,23 @@ class IterationAborted(RuntimeError):
         self.partial = partial
 
 
+class JobCancelled(RuntimeError):
+    """The cause recorded when a job is cancelled from outside.
+
+    Mirrors the :class:`~repro.sim.faults.UnrecoverableIOError` surface
+    the abort path reads (``reason`` and ``time``), so a cancellation
+    flows through :class:`IterationAborted` exactly like an I/O abort
+    does — same partial result, same reporting — and callers above the
+    engine (the serving layer's deadline enforcement) need no second
+    code path.
+    """
+
+    def __init__(self, reason: str, time: float) -> None:
+        super().__init__(f"job cancelled at t={time:.6f}: {reason}")
+        self.reason = reason
+        self.time = time
+
+
 @dataclass
 class RunResult:
     """Everything one engine run reports."""
@@ -168,6 +185,42 @@ class EngineJob:
     @property
     def done(self) -> bool:
         return self._done
+
+    @property
+    def frontier_size(self) -> int:
+        """Active-vertex count at the last iteration barrier.
+
+        Updated by the execution policy before every barrier yield; the
+        serving layer's deadline estimator uses it to decide whether an
+        uncapped traversal still has work left.
+        """
+        return self._engine._barrier_frontier
+
+    def cancel(self, reason: str) -> "IterationAborted":
+        """Cancel the job at its current iteration barrier.
+
+        The job is suspended at a barrier ``yield`` (between
+        :meth:`step` calls), so its transient queues are empty and the
+        worker clocks are consistent; closing the step generator there
+        is a clean stop.  Returns the :class:`IterationAborted` carrying
+        the partial :class:`RunResult` — the same shape an I/O abort
+        produces — with a :class:`JobCancelled` cause holding
+        ``reason``.  The engine object stays reusable.  Raises
+        ``RuntimeError`` if the job already finished.
+        """
+        if self._done:
+            raise RuntimeError("cannot cancel a finished job")
+        engine = self._engine
+        self._steps.close()
+        cause = JobCancelled(reason, self.clock)
+        self._done = True
+        return engine._abort_run(
+            cause,
+            self._base,
+            engine._peak_messages,
+            self.start_time,
+            record_fault=False,
+        )
 
     def step(self) -> bool:
         """Advance one iteration/round; ``False`` once the job finished.
@@ -281,6 +334,9 @@ class GraphEngine:
         #: Largest message-buffer occupancy seen this run (memory
         #: accounting); maintained by the execution policy's loop.
         self._peak_messages = 0
+        #: Active-set size at the last barrier; maintained by the
+        #: execution policy, read through :attr:`EngineJob.frontier_size`.
+        self._barrier_frontier = 0
         #: Armed observer (see :mod:`repro.obs`); ``None`` keeps every
         #: layer on the exact legacy path with zero tracing work.
         self.obs = None
@@ -367,6 +423,7 @@ class GraphEngine:
                 # their priority state for a bit-identical continuation.
                 policy.restore_state(exec_state)
 
+        self._barrier_frontier = int(frontier.size)
         steps = policy.steps(
             self, frontier, scheduler, max_iterations, base,
             self._checkpoint_manager, self._checkpoint_every,
@@ -375,17 +432,22 @@ class GraphEngine:
 
     def _abort_run(
         self,
-        cause: UnrecoverableIOError,
+        cause,
         base: Dict[str, float],
         peak_messages: int,
         start_time: float = 0.0,
+        record_fault: bool = True,
     ) -> "IterationAborted":
         """Build the clean abort for an unrecoverable I/O error.
 
         Clocks stop where the failure was detected, in-flight state is
         dropped so the engine object stays reusable, and the partial
         result reports everything accumulated up to the abort — the
-        caller gets progress stats, never a wrong answer.
+        caller gets progress stats, never a wrong answer.  ``cause`` is
+        an :class:`~repro.sim.faults.UnrecoverableIOError` or a
+        :class:`JobCancelled`; cancellations pass ``record_fault=False``
+        because they are policy decisions, not faults, and the fault
+        counter must not move.
         """
         self._pending_requests.clear()
         self._pending_batches.clear()
@@ -395,7 +457,8 @@ class GraphEngine:
         self._batch_msg_counts = None
         if self._messages is not None:
             self._messages.clear()
-        self.stats.add(reg.FAULTS_ABORTED_ITERATIONS)
+        if record_fault:
+            self.stats.add(reg.FAULTS_ABORTED_ITERATIONS)
         barrier = max((w.time for w in self._workers), default=start_time)
         barrier = max(barrier, cause.time)
         busy = sum(w.busy for w in self._workers)

@@ -115,6 +115,10 @@ class SyncExecution(ExecutionPolicy):
                 engine._peak_messages, engine._messages.peak_pending
             )
             frontier = engine._drain_activations()
+            # Published for EngineJob.frontier_size: the serving layer's
+            # deadline estimator reads the upcoming frontier at the
+            # barrier.  Observation only — no engine state depends on it.
+            engine._barrier_frontier = int(frontier.size)
             engine.iteration += 1
             if manager is not None and every and engine.iteration % every == 0:
                 # Saving never touches the shared stats: the counter
@@ -184,6 +188,12 @@ class AsyncExecution(ExecutionPolicy):
             self._residual[touched] = self._score(program, touched)
             stats.add(reg.ENGINE_PRIORITY_UPDATES, touched.size)
             stats.add(reg.ENGINE_ASYNC_ROUNDS)
+            # The async analogue of the sync frontier: vertices still
+            # above the residual floor after this round (see
+            # EngineJob.frontier_size).
+            engine._barrier_frontier = int(
+                np.count_nonzero(self._residual > floor)
+            )
             engine.iteration += 1
             if manager is not None and every and engine.iteration % every == 0:
                 manager.save(

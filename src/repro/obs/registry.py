@@ -116,6 +116,14 @@ SERVE_JOBS_ADMITTED = "serve.jobs_admitted"
 SERVE_JOBS_COMPLETED = "serve.jobs_completed"
 SERVE_JOBS_ABORTED = "serve.jobs_aborted"
 SERVE_QUOTA_WAITS = "serve.quota_waits"
+#: Overload control (see docs/overload.md): queries shed at the queue
+#: caps, queued/running queries killed by deadline enforcement, and the
+#: brownout state machine's activity over the run.
+SERVE_SHED_TOTAL = "serve.shed_total"
+SERVE_DEADLINE_ABORTS_TOTAL = "serve.deadline_aborts_total"
+SERVE_BROWNOUT_TRANSITIONS = "serve.brownout_transitions"
+SERVE_BROWNOUT_SECONDS = "serve.brownout_seconds"
+SERVE_OVERLOAD_PEAK_QUEUE_DEPTH = "serve.overload_peak_queue_depth"
 
 #: Every counter name the stack may legitimately touch.
 KNOWN_COUNTERS = frozenset(
@@ -132,6 +140,14 @@ SERVE_TENANT_JOBS = "serve.tenant_jobs"
 SERVE_TENANT_ABORTS = "serve.tenant_aborts"
 SERVE_TENANT_BUSY_SECONDS = "serve.tenant_busy_seconds"
 SERVE_TENANT_QUOTA_WAITS = "serve.tenant_quota_waits"
+#: Overload-control families, per tenant: ``serve.shed.<tenant>`` counts
+#: queue-cap sheds, ``serve.deadline_aborts.<tenant>`` counts queued
+#: deadline drops plus running deadline cancellations, and
+#: ``serve.brownout_degraded.<tenant>`` counts jobs admitted at reduced
+#: fidelity during brownout.
+SERVE_SHED = "serve.shed"
+SERVE_DEADLINE_ABORTS = "serve.deadline_aborts"
+SERVE_BROWNOUT_DEGRADED = "serve.brownout_degraded"
 
 KNOWN_COUNTER_FAMILIES = frozenset(
     {
@@ -139,6 +155,9 @@ KNOWN_COUNTER_FAMILIES = frozenset(
         SERVE_TENANT_ABORTS,
         SERVE_TENANT_BUSY_SECONDS,
         SERVE_TENANT_QUOTA_WAITS,
+        SERVE_SHED,
+        SERVE_DEADLINE_ABORTS,
+        SERVE_BROWNOUT_DEGRADED,
     }
 )
 
@@ -157,6 +176,10 @@ HIST_IO_RETRIES_PER_REQUEST = "io.retries_per_request"
 HIST_SERVE_QUERY_SECONDS = "serve.query_seconds"
 #: Admission-queue wait (arrival → admission, seconds), per tenant.
 HIST_SERVE_QUEUE_WAIT_SECONDS = "serve.queue_wait_seconds"
+#: Queue age at the moment a query was shed (seconds), per tenant —
+#: distinguishes shedding fresh arrivals (reject-newest) from killing
+#: long-waiting work (reject-oldest / deadline expiry).
+HIST_SERVE_SHED_AGE_SECONDS = "serve.shed_age_seconds"
 
 #: Fixed ascending bucket upper bounds per histogram family; a value
 #: above the last bound lands in the overflow bucket.
@@ -172,6 +195,9 @@ HISTOGRAM_BOUNDS = {
     ),
     HIST_SERVE_QUEUE_WAIT_SECONDS: (
         1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0,
+    ),
+    HIST_SERVE_SHED_AGE_SECONDS: (
+        0.0, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0,
     ),
 }
 

@@ -11,6 +11,9 @@ concurrency SAFS's asynchronous user-task interface was designed for
 - :mod:`repro.serve.traffic` — the seeded, replayable open-loop traffic
   generator (bursty Poisson arrivals, Zipf-weighted app mixes),
 - :mod:`repro.serve.queries` — per-app query construction,
+- :mod:`repro.serve.overload` — overload control: bounded admission
+  queues with deterministic shedding, deadline enforcement, and the
+  brownout state machine (see ``docs/overload.md``),
 - :mod:`repro.serve.service` — :class:`GraphService`, the event loop
   interleaving jobs by smallest virtual clock under fair-share, FIFO or
   deadline (EDF) scheduling.
@@ -19,6 +22,12 @@ See ``docs/serving.md`` for the architecture.
 """
 
 from repro.serve.admission import AdmissionController, QuotaExceeded
+from repro.serve.overload import (
+    OverloadConfig,
+    OverloadController,
+    OverloadEvent,
+    ShedRecord,
+)
 from repro.serve.queries import Query, QueryFactory
 from repro.serve.service import (
     GraphService,
@@ -33,11 +42,15 @@ __all__ = [
     "AdmissionController",
     "Arrival",
     "GraphService",
+    "OverloadConfig",
+    "OverloadController",
+    "OverloadEvent",
     "Query",
     "QueryFactory",
     "QuotaExceeded",
     "ServiceConfig",
     "ServiceReport",
+    "ShedRecord",
     "TenantAccountant",
     "TenantReport",
     "TenantSpec",

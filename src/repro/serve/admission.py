@@ -27,10 +27,19 @@ class AdmissionController:
         #: Arrivals that found their quota full at least once.
         self.quota_waits: Dict[str, int] = {name: 0 for name in self._specs}
 
+    def _check_known(self, tenant: str) -> None:
+        if tenant not in self._specs:
+            known = ", ".join(sorted(self._specs)) or "none"
+            raise ValueError(
+                f"unknown tenant {tenant!r} (registered tenants: {known})"
+            )
+
     def spec(self, tenant: str) -> TenantSpec:
+        self._check_known(tenant)
         return self._specs[tenant]
 
     def can_admit(self, tenant: str) -> bool:
+        self._check_known(tenant)
         return self.running[tenant] < self._specs[tenant].max_concurrent
 
     def admit(self, tenant: str) -> None:
@@ -44,11 +53,13 @@ class AdmissionController:
             self.peak[tenant] = self.running[tenant]
 
     def release(self, tenant: str) -> None:
+        self._check_known(tenant)
         if self.running[tenant] <= 0:
             raise ValueError(f"tenant {tenant!r} has no running job to release")
         self.running[tenant] -= 1
 
     def note_quota_wait(self, tenant: str) -> None:
+        self._check_known(tenant)
         self.quota_waits[tenant] += 1
 
     def total_quota_waits(self) -> int:

@@ -14,7 +14,11 @@ import numpy as np
 
 from repro.algorithms.bfs import BFSProgram
 from repro.algorithms.kcore import KCoreProgram
-from repro.algorithms.pagerank import DEFAULT_MAX_ITERATIONS, PageRankProgram
+from repro.algorithms.pagerank import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+    PageRankProgram,
+)
 from repro.algorithms.wcc import WCCProgram
 from repro.core.vertex_program import VertexProgram
 from repro.graph.builder import GraphImage
@@ -74,7 +78,20 @@ class QueryFactory:
     def supported_apps(self) -> Tuple[str, ...]:
         return tuple(self._builders)
 
-    def build(self, app: str) -> Query:
+    def build(
+        self,
+        app: str,
+        pr_iterations: Optional[int] = None,
+        pr_tolerance_factor: float = 1.0,
+    ) -> Query:
+        """Build ``app``, optionally at reduced fidelity.
+
+        ``pr_iterations`` caps a PageRank query below its configured
+        iteration budget and ``pr_tolerance_factor`` coarsens its
+        convergence tolerance — the brownout degradation hooks.  Both
+        are no-ops for non-PageRank apps: traversals have no fidelity
+        dial, they are shed or aborted instead.
+        """
         try:
             builder = self._builders[app]
         except KeyError:
@@ -82,10 +99,21 @@ class QueryFactory:
                 f"unsupported app {app!r} (supported: "
                 f"{', '.join(self._builders)})"
             ) from None
+        if app in ("pr", "pr30") and (
+            pr_iterations is not None or pr_tolerance_factor != 1.0
+        ):
+            full = self.pr_iterations if app == "pr" else DEFAULT_MAX_ITERATIONS
+            capped = full if pr_iterations is None else min(full, pr_iterations)
+            return self._pagerank(capped, tolerance_factor=pr_tolerance_factor)
         return builder()
 
-    def _pagerank(self, max_iterations: int) -> Query:
-        program = PageRankProgram(self.image.num_vertices)
+    def _pagerank(
+        self, max_iterations: int, tolerance_factor: float = 1.0
+    ) -> Query:
+        program = PageRankProgram(
+            self.image.num_vertices,
+            tolerance=DEFAULT_TOLERANCE * tolerance_factor,
+        )
         return Query(
             app="pr",
             image=self.image,

@@ -20,6 +20,12 @@ Scheduling policies (``ServiceConfig.policy``):
 A single-job service run replays the batch engine's code path operation
 for operation, so its simulated counters are bit-identical to the
 equivalent ``repro run`` — the serving tests pin this.
+
+Overload control (``ServiceConfig.overload``, see ``docs/overload.md``)
+bounds the admission queues, sheds or deadline-aborts infeasible work,
+and brownouts the service under sustained pressure.  With the knob left
+``None`` the event loop runs the exact pre-overload code path, so the
+bit-identity guarantees above are untouched.
 """
 
 import math
@@ -35,6 +41,7 @@ from repro.safs.filesystem import SAFS, SAFSConfig
 from repro.safs.page import SAFSFile
 from repro.safs.page_cache import PageCache, PageCacheConfig
 from repro.serve.admission import AdmissionController
+from repro.serve.overload import OverloadConfig, OverloadController, ShedRecord
 from repro.serve.queries import Query, QueryFactory
 from repro.serve.tenants import TenantAccountant, TenantSpec
 from repro.serve.traffic import Arrival
@@ -64,6 +71,9 @@ class ServiceConfig:
     pr_iterations: int = 5
     #: k for "kcore" queries.
     kcore_k: int = 4
+    #: Overload control (bounded queues, shedding, deadline enforcement,
+    #: brownout); ``None`` keeps the exact pre-overload event loop.
+    overload: Optional[OverloadConfig] = None
 
     def __post_init__(self) -> None:
         if self.policy not in SCHEDULING_POLICIES:
@@ -73,6 +83,10 @@ class ServiceConfig:
             )
         if self.starvation_bound_s <= 0.0:
             raise ValueError("starvation_bound_s must be positive")
+        if self.pr_iterations < 1:
+            raise ValueError("pr_iterations must be at least 1")
+        if self.kcore_k < 1:
+            raise ValueError("kcore_k must be at least 1")
 
 
 @dataclass
@@ -90,6 +104,8 @@ class JobRecord:
     #: The algorithm's output vector (program state at completion).
     values: object = None
     abort_reason: Optional[str] = None
+    #: Whether brownout admitted this job at reduced fidelity.
+    degraded: bool = False
 
     @property
     def latency(self) -> float:
@@ -117,6 +133,11 @@ class TenantReport:
     aborts: int = 0
     quota_waits: int = 0
     busy_seconds: float = 0.0
+    #: Overload control: queries shed at the queue caps, queries killed
+    #: by deadline enforcement, jobs admitted degraded during brownout.
+    shed: int = 0
+    deadline_aborts: int = 0
+    degraded: int = 0
     latencies: List[float] = field(default_factory=list)
     queue_waits: List[float] = field(default_factory=list)
 
@@ -129,6 +150,9 @@ class TenantReport:
             "aborts": self.aborts,
             "quota_waits": self.quota_waits,
             "busy_seconds": self.busy_seconds,
+            "shed": self.shed,
+            "deadline_aborts": self.deadline_aborts,
+            "degraded": self.degraded,
             "latency_p50_s": self.latency_quantile(0.50),
             "latency_p95_s": self.latency_quantile(0.95),
             "latency_p99_s": self.latency_quantile(0.99),
@@ -149,6 +173,19 @@ class ServiceReport:
     duration_s: float
     tenants: Dict[str, TenantReport]
     records: List[JobRecord]
+    #: Overload control: queries refused without ever running (queue-cap
+    #: sheds and queued-deadline drops), in decision order.
+    sheds: List[ShedRecord] = field(default_factory=list)
+    #: Running jobs cancelled by deadline enforcement (a subset of
+    #: ``aborted``; the queued drops above are *not* aborts).
+    deadline_aborts: int = 0
+    #: The overload controller's summary (state machine outcome and the
+    #: deterministic event log); ``None`` when overload control is off.
+    overload: Optional[dict] = None
+
+    @property
+    def shed(self) -> int:
+        return len(self.sheds)
 
     @property
     def sustained_qps(self) -> float:
@@ -163,6 +200,8 @@ class ServiceReport:
             "offered": self.offered,
             "completed": self.completed,
             "aborted": self.aborted,
+            "shed": self.shed,
+            "deadline_aborts": self.deadline_aborts,
             "quota_waits": self.quota_waits,
             "duration_s": self.duration_s,
             "sustained_qps": self.sustained_qps,
@@ -172,6 +211,7 @@ class ServiceReport:
                 name: report.to_dict()
                 for name, report in sorted(self.tenants.items())
             },
+            "overload": self.overload,
         }
 
 
@@ -189,6 +229,8 @@ class _Running:
     engine: GraphEngine
     job: EngineJob
     aborted: Optional[IterationAborted] = None
+    degraded: bool = False
+    deadline_aborted: bool = False
 
 
 class GraphService:
@@ -257,6 +299,12 @@ class GraphService:
             source=source,
         )
         self.admission = AdmissionController(self.tenants)
+        #: Overload controller; ``None`` = the pre-overload event loop.
+        self.overload: Optional[OverloadController] = (
+            OverloadController(self.config.overload, self.tenants)
+            if self.config.overload is not None
+            else None
+        )
         self.accountant = TenantAccountant(names)
         self.accountant.install(array)
         self.observer = observer
@@ -295,8 +343,10 @@ class GraphService:
         running: List[_Running] = []
         reports = {name: TenantReport(tenant=name) for name in self.tenants}
         records: List[JobRecord] = []
+        sheds: List[ShedRecord] = []
         free_at: Dict[str, float] = {name: 0.0 for name in self.tenants}
-        completed = aborted = 0
+        completed = aborted = deadline_aborted = 0
+        overload = self.overload
 
         while pending or waiting or running:
             if running:
@@ -309,12 +359,24 @@ class GraphService:
             else:
                 frontier = pending[0].time
             while pending and pending[0].time <= frontier:
-                waiting.append(_Waiting(pending.popleft()))
-            self._admit(waiting, running, free_at, frontier)
+                arrival = pending.popleft()
+                if overload is None:
+                    waiting.append(_Waiting(arrival))
+                else:
+                    self._reveal(arrival, waiting, sheds)
+            if overload is not None and math.isfinite(frontier):
+                if overload.config.enforce_deadlines:
+                    self._expire_waiting(waiting, frontier, sheds)
+                if overload.sample_due(frontier):
+                    self._observe_pressure(frontier, waiting)
+            self._admit(waiting, running, free_at, frontier, sheds)
             if not running:
                 continue
             current = min(running, key=lambda r: (r.job.clock, r.arrival.index))
-            if not self._step(current):
+            alive = self._step(current)
+            if alive and overload is not None:
+                alive = not self._maybe_deadline_abort(current)
+            if not alive:
                 running.remove(current)
                 record = self._finalize(current, free_at, reports)
                 records.append(record)
@@ -322,12 +384,26 @@ class GraphService:
                     completed += 1
                 else:
                     aborted += 1
+                    if current.deadline_aborted:
+                        deadline_aborted += 1
 
         for name, report in reports.items():
             report.quota_waits = self.admission.quota_waits[name]
         for name, busy in self.accountant.busy_by_tenant().items():
             if name in reports:
                 reports[name].busy_seconds = busy
+        duration = max((r.finish_time for r in records), default=0.0)
+        summary = None
+        if overload is not None:
+            end = duration
+            if overload.events:
+                end = max(end, overload.events[-1].time)
+            overload.finish(end)
+            summary = overload.summary()
+            for name, report in reports.items():
+                report.shed = overload.sheds.get(name, 0)
+                report.deadline_aborts = overload.deadline_aborts.get(name, 0)
+                report.degraded = overload.degraded_jobs.get(name, 0)
         self._write_serve_counters(reports, completed, aborted)
         return ServiceReport(
             policy=self.config.policy,
@@ -335,10 +411,136 @@ class GraphService:
             completed=completed,
             aborted=aborted,
             quota_waits=self.admission.total_quota_waits(),
-            duration_s=max((r.finish_time for r in records), default=0.0),
+            duration_s=duration,
             tenants=reports,
             records=records,
+            sheds=sheds,
+            deadline_aborts=deadline_aborted,
+            overload=summary,
         )
+
+    # ------------------------------------------------------------------
+    # Overload control (every hook below requires self.overload)
+    # ------------------------------------------------------------------
+
+    def _reveal(
+        self,
+        arrival: Arrival,
+        waiting: List[_Waiting],
+        sheds: List[ShedRecord],
+    ) -> None:
+        """Queue one revealed arrival, shedding if a cap would burst.
+
+        The tenant cap is checked first (a tenant may never crowd its
+        own queue past its cap), then the global cap; the victim — the
+        newcomer or a queued query, per the shed policy — is decided
+        purely from the queue contents, so it replays bit-identically.
+        """
+        overload = self.overload
+        newcomer = _Waiting(arrival)
+        mine = [w for w in waiting if w.arrival.tenant == arrival.tenant]
+        victim = None
+        if len(mine) >= overload.tenant_cap(arrival.tenant):
+            victim = overload.choose_victim(mine + [newcomer], self._order_key)
+        elif len(waiting) >= overload.config.global_queue_cap:
+            victim = overload.choose_victim(
+                waiting + [newcomer], self._order_key
+            )
+        if victim is None:
+            waiting.append(newcomer)
+        elif victim is newcomer:
+            sheds.append(self._shed(arrival, arrival.time, "queue-cap"))
+        else:
+            waiting.remove(victim)
+            waiting.append(newcomer)
+            sheds.append(self._shed(victim.arrival, arrival.time, "queue-cap"))
+        depth = {name: 0 for name in self.tenants}
+        for waiter in waiting:
+            depth[waiter.arrival.tenant] += 1
+        overload.note_depth(len(waiting), depth)
+
+    def _expire_waiting(
+        self, waiting: List[_Waiting], now: float, sheds: List[ShedRecord]
+    ) -> None:
+        """Drop queued queries whose deadline already passed at ``now``:
+        admitting them can only burn array bandwidth on a guaranteed
+        miss, the exact waste overload control exists to avoid."""
+        expired = []
+        for waiter in waiting:
+            deadline_s = self.tenants[waiter.arrival.tenant].deadline_s
+            if deadline_s is not None and now > waiter.arrival.time + deadline_s:
+                expired.append(waiter)
+        for waiter in expired:
+            waiting.remove(waiter)
+            sheds.append(self._shed(waiter.arrival, now, "deadline-expired"))
+
+    def _shed(self, arrival: Arrival, shed_time: float, reason: str) -> ShedRecord:
+        record = self.overload.record_shed(arrival, shed_time, reason)
+        # Histograms live outside counter snapshots/diffs (see
+        # _finalize), so observing mid-run is bit-identity safe.
+        self.stats.observe(
+            f"{reg.HIST_SERVE_SHED_AGE_SECONDS}.{arrival.tenant}",
+            record.age,
+            reg.histogram_bounds(reg.HIST_SERVE_SHED_AGE_SECONDS),
+        )
+        return record
+
+    def _observe_pressure(self, now: float, waiting: List[_Waiting]) -> None:
+        """Feed the overload detector one sample at simulated ``now``."""
+        mean_wait = 0.0
+        if waiting:
+            mean_wait = sum(now - w.arrival.time for w in waiting) / len(waiting)
+        self.overload.observe(
+            now, len(waiting), mean_wait, self._unhealthy_fraction(now)
+        )
+
+    def _unhealthy_fraction(self, now: float) -> float:
+        """Fraction of data devices dead, failed or quarantined at
+        ``now`` — the detector's array-health signal.  Folds both the
+        health monitor's view (when one is armed) and fault-plan deaths,
+        so chaos benches without a health policy still sense deadness."""
+        array = self.safs.array
+        num = array.config.num_ssds
+        health = self.safs.health
+        plan = array.fault_plan
+        bad = 0
+        for device in range(num):
+            if health is not None and health.avoid(device, now):
+                bad += 1
+            elif plan is not None and plan.is_dead(device, now):
+                bad += 1
+        return bad / num
+
+    def _maybe_deadline_abort(self, run: _Running) -> bool:
+        """Cancel ``run`` at this barrier if its deadline is hopeless.
+
+        Returns ``True`` when the job was cancelled (the caller
+        finalizes it like any abort, keeping the partial result).
+        """
+        overload = self.overload
+        if not (
+            overload.config.enforce_deadlines
+            and overload.config.deadline_abort_running
+        ):
+            return False
+        deadline_s = self.tenants[run.arrival.tenant].deadline_s
+        if deadline_s is None:
+            return False
+        now = run.job.clock
+        reason = overload.deadline_unreachable(
+            now=now,
+            start=run.start,
+            deadline=run.arrival.time + deadline_s,
+            iterations=run.job.iteration,
+            max_iterations=run.query.max_iterations,
+            frontier_size=run.job.frontier_size,
+        )
+        if reason is None:
+            return False
+        run.aborted = run.job.cancel(f"deadline unreachable: {reason}")
+        run.deadline_aborted = True
+        overload.record_deadline_abort(run.arrival, now, reason)
+        return True
 
     # ------------------------------------------------------------------
     # Admission
@@ -365,6 +567,7 @@ class GraphService:
         running: List[_Running],
         free_at: Dict[str, float],
         now: float,
+        sheds: Optional[List[ShedRecord]] = None,
     ) -> None:
         while waiting:
             candidates = []
@@ -392,6 +595,30 @@ class GraphService:
             if pick is None:
                 pick = min(candidates, key=self._order_key)
             waiting.remove(pick)
+            if (
+                self.overload is not None
+                and self.overload.config.enforce_deadlines
+            ):
+                # A quota-blocked pick starts at free_at, which can sit
+                # far past the frontier the expiry sweep sees (one slow
+                # job can jump a tenant's free_at by whole seconds);
+                # re-check the deadline against the actual start time so
+                # a guaranteed miss is shed instead of started.
+                arrival = pick.arrival
+                deadline_s = self.tenants[arrival.tenant].deadline_s
+                start = (
+                    max(arrival.time, free_at[arrival.tenant])
+                    if pick.blocked_noted
+                    else arrival.time
+                )
+                if (
+                    deadline_s is not None
+                    and start > arrival.time + deadline_s
+                ):
+                    sheds.append(
+                        self._shed(arrival, start, "deadline-expired")
+                    )
+                    continue
             self._start(pick, running, free_at)
 
     def _start(
@@ -410,7 +637,22 @@ class GraphService:
         else:
             start = arrival.time
         self.admission.admit(tenant)
-        query = self.queries.build(arrival.app)
+        degraded = False
+        if self.overload is not None and self.overload.degrades(tenant):
+            cfg = self.overload.config
+            query = self.queries.build(
+                arrival.app,
+                pr_iterations=cfg.brownout_pr_iterations,
+                pr_tolerance_factor=cfg.brownout_tolerance_factor,
+            )
+            # Only PageRank has a fidelity dial today; traversals run
+            # full-fidelity even in brownout (they are shed or aborted
+            # instead), so only mark what actually changed.
+            degraded = arrival.app in ("pr", "pr30")
+            if degraded:
+                self.overload.note_degraded(tenant)
+        else:
+            query = self.queries.build(arrival.app)
         engine = GraphEngine(
             query.image,
             safs=self.safs,
@@ -429,7 +671,12 @@ class GraphService:
         )
         running.append(
             _Running(
-                arrival=arrival, start=start, query=query, engine=engine, job=job
+                arrival=arrival,
+                start=start,
+                query=query,
+                engine=engine,
+                job=job,
+                degraded=degraded,
             )
         )
 
@@ -480,6 +727,7 @@ class GraphService:
             result=result,
             values=run.query.values() if ok else None,
             abort_reason=reason,
+            degraded=run.degraded,
         )
         report = reports[tenant]
         report.jobs += 1
@@ -522,3 +770,25 @@ class GraphService:
                 f"{reg.SERVE_TENANT_QUOTA_WAITS}.{name}",
                 self.admission.quota_waits[name],
             )
+        if self.overload is not None:
+            overload = self.overload
+            stats.add(reg.SERVE_SHED_TOTAL, sum(overload.sheds.values()))
+            stats.add(
+                reg.SERVE_DEADLINE_ABORTS_TOTAL,
+                sum(overload.deadline_aborts.values()),
+            )
+            stats.add(reg.SERVE_BROWNOUT_TRANSITIONS, overload.transitions)
+            stats.add(reg.SERVE_BROWNOUT_SECONDS, overload.brownout_seconds)
+            stats.add(
+                reg.SERVE_OVERLOAD_PEAK_QUEUE_DEPTH, overload.peak_queue_depth
+            )
+            for name in sorted(self.tenants):
+                stats.add(f"{reg.SERVE_SHED}.{name}", overload.sheds.get(name, 0))
+                stats.add(
+                    f"{reg.SERVE_DEADLINE_ABORTS}.{name}",
+                    overload.deadline_aborts.get(name, 0),
+                )
+                stats.add(
+                    f"{reg.SERVE_BROWNOUT_DEGRADED}.{name}",
+                    overload.degraded_jobs.get(name, 0),
+                )

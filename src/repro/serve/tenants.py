@@ -31,6 +31,13 @@ class TenantSpec:
     #: Private page-cache partition capacity; ``None`` shares the global
     #: cache with every other unpartitioned tenant.
     cache_bytes: Optional[int] = None
+    #: Waiting-queue cap for this tenant under overload control; ``None``
+    #: uses :attr:`~repro.serve.overload.OverloadConfig.tenant_queue_cap`.
+    queue_cap: Optional[int] = None
+    #: Whether brownout may downgrade this tenant's admitted work
+    #: (lower PageRank iteration cap, coarser tolerance).  Tenants
+    #: paying for full fidelity opt out and only ever see shed/abort.
+    degradable: bool = True
 
     def __post_init__(self) -> None:
         if not self.name or "." in self.name:
@@ -46,6 +53,8 @@ class TenantSpec:
             raise ValueError("deadline_s must be positive")
         if self.cache_bytes is not None and self.cache_bytes <= 0:
             raise ValueError("cache_bytes must be positive")
+        if self.queue_cap is not None and self.queue_cap < 1:
+            raise ValueError("queue_cap must be at least 1")
 
 
 class TenantAccountant:
