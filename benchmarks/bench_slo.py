@@ -1,0 +1,288 @@
+#!/usr/bin/env python
+"""Cost of the serving-layer SLO observability plane.
+
+Serves the same seeded two-tenant overload scenario on twitter-sim
+three times — **disarmed** (no sampler, no declared objectives, no
+observer: the plain serving fast path), **armed** (timeline sampler +
+SLO burn tracking, the always-on production shape) and **traced**
+(those plus the full span :class:`Observer`, the ``repro slo
+--trace-spans`` shape) — and records:
+
+- min-of-N wall-clock for each; the armed/disarmed overhead fraction
+  is the gated headline (<5%: windowed sampling + burn tracking are
+  cheap enough to leave on), while the traced delta is informational —
+  full span tracing has always been the expensive opt-in;
+- the bit-identity check: the armed run's final ``serve.*`` counters
+  must equal the disarmed run's byte for byte (observability never
+  perturbs the simulation);
+- the armed run's own outputs (timeline rows, burn events, a validated
+  ``repro.slo/v1`` document) so the bench doubles as an end-to-end
+  smoke of the plane.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_slo.py                 # print table
+    PYTHONPATH=src python benchmarks/bench_slo.py --record        # + BENCH_slo.json
+    PYTHONPATH=src python benchmarks/bench_slo.py --smoke --check # CI gate
+    PYTHONPATH=src python benchmarks/bench_slo.py --markdown out.md
+
+``--check`` exits non-zero when the counter streams diverge (that is a
+correctness bug, gated unconditionally), when the armed run's SLO
+document fails validation, or when the armed overhead exceeds
+``--tolerance`` (default 0.05 — the issue's <5% budget; wall-clock on
+shared runners is noisy, so the gate uses min-of-``--repeats``).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.datasets import load_dataset
+from repro.obs import (
+    Observer,
+    TimelineSampler,
+    build_slo_report,
+    validate_slo_report,
+)
+from repro.serve import (
+    GraphService,
+    OverloadConfig,
+    ServiceConfig,
+    TenantSpec,
+    TenantTraffic,
+    generate_trace,
+)
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_FILE = _REPO_ROOT / "BENCH_slo.json"
+
+TRAFFIC_SEED = 11
+DURATION_S = 0.2
+SMOKE_DURATION_S = 0.05
+
+
+def _tenants(armed):
+    """The interactive mix; the armed variant declares objectives."""
+    slo = dict(slo_latency_s=0.025, slo_target=0.95, slo_availability=0.9)
+    return [
+        TenantSpec(
+            name="acme",
+            weight=2.0,
+            max_concurrent=3,
+            **(slo if armed else {}),
+        ),
+        TenantSpec(name="globex", max_concurrent=2),
+    ]
+
+
+TRAFFICS = [
+    TenantTraffic(
+        tenant="acme",
+        rate_qps=240.0,
+        apps=("pr", "bfs", "wcc"),
+        burst_factor=4.0,
+        burst_fraction=0.2,
+    ),
+    TenantTraffic(tenant="globex", rate_qps=120.0, apps=("bfs", "wcc")),
+]
+
+CONFIG = ServiceConfig(
+    policy="fair",
+    overload=OverloadConfig(
+        tenant_queue_cap=8,
+        global_queue_cap=24,
+        brownout=True,
+    ),
+)
+
+
+MODES = ("disarmed", "armed", "traced")
+
+
+def _run(image, duration, mode):
+    """One serve pass; returns (service, report, sampler, wall_seconds)."""
+    trace = generate_trace(TRAFFICS, duration, seed=TRAFFIC_SEED)
+    armed = mode != "disarmed"
+    sampler = TimelineSampler() if armed else None
+    observer = Observer() if mode == "traced" else None
+    service = GraphService(
+        image,
+        _tenants(armed),
+        CONFIG,
+        observer=observer,
+        timeline=sampler,
+    )
+    start = time.perf_counter()
+    report = service.serve(trace)
+    wall = time.perf_counter() - start
+    return service, report, sampler, wall
+
+
+def _serve_counters(service):
+    return {
+        name: value
+        for name, value in service.stats.snapshot().items()
+        if name.startswith("serve.")
+    }
+
+
+def run_bench(duration, repeats):
+    image = load_dataset("twitter-sim")
+    walls = {mode: [] for mode in MODES}
+    outcome = {}
+    for _ in range(repeats):
+        for mode in MODES:
+            service, report, sampler, wall = _run(image, duration, mode)
+            walls[mode].append(wall)
+            outcome[mode] = (service, report, sampler)
+    disarmed_s = min(walls["disarmed"])
+    armed_s = min(walls["armed"])
+    traced_s = min(walls["traced"])
+    overhead = armed_s / disarmed_s - 1.0 if disarmed_s > 0 else 0.0
+    traced_overhead = traced_s / disarmed_s - 1.0 if disarmed_s > 0 else 0.0
+
+    plain_service, plain_report, _ = outcome["disarmed"]
+    armed_service, armed_report, sampler = outcome["armed"]
+    traced_service, _, _ = outcome["traced"]
+    plain = _serve_counters(plain_service)
+    counters_identical = (
+        plain == _serve_counters(armed_service)
+        and plain == _serve_counters(traced_service)
+    )
+    doc = build_slo_report(
+        armed_report,
+        armed_service.slo,
+        sampler,
+        label=f"bench_slo twitter-sim {duration}s seed={TRAFFIC_SEED}",
+    )
+    problems = validate_slo_report(doc)
+    return {
+        "scenario": {
+            "dataset": "twitter-sim",
+            "duration_s": duration,
+            "seed": TRAFFIC_SEED,
+            "repeats": repeats,
+            "policy": CONFIG.policy,
+        },
+        "wall": {
+            "disarmed_s": disarmed_s,
+            "armed_s": armed_s,
+            "traced_s": traced_s,
+            "overhead_frac": overhead,
+            "traced_overhead_frac": traced_overhead,
+        },
+        "counters_identical": counters_identical,
+        "armed_run": {
+            "offered": armed_report.offered,
+            "completed": armed_report.completed,
+            "aborted": armed_report.aborted,
+            "shed": armed_report.shed,
+            "timeline_rows": len(sampler.snapshots),
+            "burn_events": len(doc["slo"]["events"]) if doc["slo"] else 0,
+            "query_spans": len(traced_service.observer.query_spans),
+        },
+        "slo_doc_problems": problems,
+    }
+
+
+def format_table(results):
+    wall = results["wall"]
+    armed = results["armed_run"]
+    lines = [
+        f"bench_slo: {results['scenario']['dataset']} "
+        f"{results['scenario']['duration_s']}s simulated, "
+        f"min of {results['scenario']['repeats']}",
+        f"{'mode':<10} {'wall (s)':>10}",
+        f"{'disarmed':<10} {wall['disarmed_s']:>10.4f}",
+        f"{'armed':<10} {wall['armed_s']:>10.4f}",
+        f"{'traced':<10} {wall['traced_s']:>10.4f}",
+        f"sampler overhead: {wall['overhead_frac'] * 100:+.2f}% "
+        f"(traced: {wall['traced_overhead_frac'] * 100:+.2f}%)  "
+        f"counters identical: {results['counters_identical']}",
+        f"armed run: {armed['completed']}/{armed['offered']} completed, "
+        f"{armed['shed']} shed, {armed['timeline_rows']} timeline rows, "
+        f"{armed['burn_events']} burn events, "
+        f"{armed['query_spans']} query spans",
+    ]
+    return "\n".join(lines)
+
+
+def format_markdown(results):
+    wall = results["wall"]
+    lines = [
+        "| mode | wall (s) |",
+        "|---|---|",
+        f"| disarmed | {wall['disarmed_s']:.4f} |",
+        f"| armed | {wall['armed_s']:.4f} |",
+        f"| traced | {wall['traced_s']:.4f} |",
+        "",
+        f"Sampler overhead: {wall['overhead_frac'] * 100:+.2f}%, "
+        f"full tracing: {wall['traced_overhead_frac'] * 100:+.2f}% "
+        f"(counters identical: {results['counters_identical']})",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="write results to BENCH_slo.json")
+    parser.add_argument("--check", action="store_true",
+                        help="gate: counters identical, valid SLO doc, "
+                             "overhead under --tolerance")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short duration for CI")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="--check: max armed overhead fraction "
+                             "(default 0.05)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-clock repeats, min taken (default 3)")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="also write a Markdown table")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the results JSON here")
+    args = parser.parse_args()
+
+    duration = SMOKE_DURATION_S if args.smoke else DURATION_S
+    results = run_bench(duration, args.repeats)
+    print(format_table(results))
+
+    if args.record:
+        RESULTS_FILE.write_text(
+            json.dumps(results, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"recorded {RESULTS_FILE}")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(results, indent=2, sort_keys=True) + "\n"
+        )
+    if args.markdown:
+        Path(args.markdown).write_text(format_markdown(results) + "\n")
+
+    failures = []
+    if not results["counters_identical"]:
+        failures.append(
+            "armed serve.* counters diverge from the disarmed run"
+        )
+    if results["slo_doc_problems"]:
+        failures.extend(
+            f"slo doc: {p}" for p in results["slo_doc_problems"]
+        )
+    if args.check:
+        overhead = results["wall"]["overhead_frac"]
+        if overhead > args.tolerance:
+            failures.append(
+                f"sampler overhead {overhead * 100:.2f}% exceeds "
+                f"{args.tolerance * 100:.0f}% budget"
+            )
+    if failures:
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

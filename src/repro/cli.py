@@ -14,7 +14,9 @@ algorithm on a registered dataset or an edge-list file and prints the
 result row; ``bench`` regenerates one paper table/figure by name;
 ``profile`` runs one algorithm with the observer armed and writes a
 validated per-iteration per-layer time breakdown (see
-:mod:`repro.obs.report`).
+:mod:`repro.obs.report`); ``slo`` serves a multi-tenant trace with the
+timeline sampler armed and writes a validated burn-rate report
+(``repro.slo/v1``, see :mod:`repro.obs.slo`).
 """
 
 import argparse
@@ -35,10 +37,15 @@ from repro.core.engine import IterationAborted
 from repro.core.tracing import IterationTracer
 from repro.obs import (
     Observer,
+    TimelineConfig,
+    TimelineSampler,
     arm,
     build_profile,
+    build_slo_report,
     format_profile,
+    format_slo_report,
     validate_profile,
+    validate_slo_report,
     write_chrome,
     write_jsonl,
 )
@@ -84,6 +91,89 @@ EXPERIMENTS = {
     "stragglers": extra_experiments.straggler_experiment,
     "partitioning": extra_experiments.partitioning_ablation,
 }
+
+
+def _add_serve_arguments(p) -> None:
+    """The serving-run flags shared by ``serve`` and ``slo``."""
+    p.add_argument("--dataset", choices=sorted(DATASETS), required=True)
+    p.add_argument(
+        "--tenant", action="append", required=True, metavar="SPEC",
+        help="one tenant, repeatable: name=acme,rate=120[,weight=2]"
+        "[,quota=3][,apps=pr+bfs+wcc][,burst=4x0.2][,deadline=0.05]"
+        "[,cache-kb=256][,slo-latency=0.02][,slo-target=0.99]"
+        "[,slo-availability=0.95] (rate in queries per simulated "
+        "second; burst=FACTORxFRACTION of each 50ms window; "
+        "slo-latency/slo-availability declare burn-rate objectives)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=0.2,
+        help="trace length in simulated seconds (default: %(default)s)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="traffic seed")
+    p.add_argument(
+        "--policy", choices=list(SCHEDULING_POLICIES), default="fair",
+        help="admission scheduling policy (default: %(default)s)",
+    )
+    p.add_argument("--cache-mb", type=float, default=1.0)
+    p.add_argument("--threads", type=int, default=32)
+    p.add_argument(
+        "--pr-iterations", type=int, default=5,
+        help="iteration cap for 'pr' queries (default: %(default)s)",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="inject the default chaos plan, seeded",
+    )
+    p.add_argument(
+        "--overload", action="store_true",
+        help="arm overload control: bounded queues with shedding, plus "
+        "deadline enforcement and brownout when their flags are set "
+        "(see docs/overload.md)",
+    )
+    p.add_argument(
+        "--queue-cap", type=int, default=8,
+        help="per-tenant waiting-queue cap under --overload "
+        "(default: %(default)s; per-tenant queue-cap= overrides)",
+    )
+    p.add_argument(
+        "--global-queue-cap", type=int, default=24,
+        help="global waiting-queue cap under --overload "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--shed-policy", choices=list(SHED_POLICIES),
+        default="reject-newest",
+        help="which query a full queue sheds (default: %(default)s)",
+    )
+    p.add_argument(
+        "--enforce-deadlines", action="store_true",
+        help="drop queued queries past their deadline and cancel "
+        "running jobs once the deadline is unreachable",
+    )
+    p.add_argument(
+        "--brownout", action="store_true",
+        help="arm the overload detector + brownout state machine",
+    )
+    p.add_argument(
+        "--brownout-pr-iterations", type=int, default=2,
+        help="iteration cap for pr queries admitted during brownout "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--timeline", metavar="PATH",
+        help="arm the timeline sampler and write its windowed snapshot "
+        "table as Markdown here",
+    )
+    p.add_argument(
+        "--timeline-interval", type=float, default=0.005,
+        help="timeline window length in simulated seconds "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--trace-spans",
+        help="write the shared observer's span trace as JSONL here "
+        "(includes per-query lifecycle events)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -180,73 +270,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve a seeded multi-tenant query trace over one shared "
         "SAFS stack and print per-tenant SLO stats",
     )
-    serve.add_argument("--dataset", choices=sorted(DATASETS), required=True)
-    serve.add_argument(
-        "--tenant", action="append", required=True, metavar="SPEC",
-        help="one tenant, repeatable: name=acme,rate=120[,weight=2]"
-        "[,quota=3][,apps=pr+bfs+wcc][,burst=4x0.2][,deadline=0.05]"
-        "[,cache-kb=256] (rate in queries per simulated second; "
-        "burst=FACTORxFRACTION of each 50ms window)",
-    )
-    serve.add_argument(
-        "--duration", type=float, default=0.2,
-        help="trace length in simulated seconds (default: %(default)s)",
-    )
-    serve.add_argument("--seed", type=int, default=0, help="traffic seed")
-    serve.add_argument(
-        "--policy", choices=list(SCHEDULING_POLICIES), default="fair",
-        help="admission scheduling policy (default: %(default)s)",
-    )
-    serve.add_argument("--cache-mb", type=float, default=1.0)
-    serve.add_argument("--threads", type=int, default=32)
-    serve.add_argument(
-        "--pr-iterations", type=int, default=5,
-        help="iteration cap for 'pr' queries (default: %(default)s)",
-    )
-    serve.add_argument(
-        "--fault-seed", type=int, default=None,
-        help="inject the default chaos plan, seeded",
-    )
-    serve.add_argument(
-        "--overload", action="store_true",
-        help="arm overload control: bounded queues with shedding, plus "
-        "deadline enforcement and brownout when their flags are set "
-        "(see docs/overload.md)",
-    )
-    serve.add_argument(
-        "--queue-cap", type=int, default=8,
-        help="per-tenant waiting-queue cap under --overload "
-        "(default: %(default)s; per-tenant queue-cap= overrides)",
-    )
-    serve.add_argument(
-        "--global-queue-cap", type=int, default=24,
-        help="global waiting-queue cap under --overload "
-        "(default: %(default)s)",
-    )
-    serve.add_argument(
-        "--shed-policy", choices=list(SHED_POLICIES),
-        default="reject-newest",
-        help="which query a full queue sheds (default: %(default)s)",
-    )
-    serve.add_argument(
-        "--enforce-deadlines", action="store_true",
-        help="drop queued queries past their deadline and cancel "
-        "running jobs once the deadline is unreachable",
-    )
-    serve.add_argument(
-        "--brownout", action="store_true",
-        help="arm the overload detector + brownout state machine",
-    )
-    serve.add_argument(
-        "--brownout-pr-iterations", type=int, default=2,
-        help="iteration cap for pr queries admitted during brownout "
-        "(default: %(default)s)",
-    )
-    serve.add_argument(
-        "--trace-spans",
-        help="write the shared observer's span trace as JSONL here",
-    )
+    _add_serve_arguments(serve)
     serve.add_argument("--out", help="write the service report as JSON here")
+
+    slo = sub.add_parser(
+        "slo",
+        help="serve a trace with the timeline sampler armed and write a "
+        "validated burn-rate report (repro.slo/v1); tenants declare "
+        "objectives via slo-latency=/slo-target=/slo-availability=",
+    )
+    _add_serve_arguments(slo)
+    slo.add_argument(
+        "--out", default="slo_report.json",
+        help="burn-rate report JSON output path (default: %(default)s)",
+    )
 
     graph = sub.add_parser("graph", help="inspect a graph without running anything")
     gsub = graph.add_subparsers(dest="graph_command", required=True)
@@ -424,7 +461,8 @@ def cmd_run(args) -> int:
 def _parse_tenant(spec: str):
     """``name=acme,rate=120[,weight=2][,quota=3][,apps=pr+bfs+wcc]
     [,burst=4x0.2][,deadline=0.05][,cache-kb=256][,queue-cap=4]
-    [,degradable=0]`` → (TenantSpec, TenantTraffic)."""
+    [,degradable=0][,slo-latency=0.02][,slo-target=0.99]
+    [,slo-availability=0.95]`` → (TenantSpec, TenantTraffic)."""
     fields = {}
     for part in spec.split(","):
         if "=" not in part:
@@ -442,6 +480,9 @@ def _parse_tenant(spec: str):
     cache_kb = fields.pop("cache-kb", None)
     queue_cap = fields.pop("queue-cap", None)
     degradable = fields.pop("degradable", "1") not in ("0", "false", "no")
+    slo_latency = fields.pop("slo-latency", None)
+    slo_target = float(fields.pop("slo-target", 0.99))
+    slo_availability = fields.pop("slo-availability", None)
     burst = fields.pop("burst", None)
     if fields:
         raise SystemExit(f"unknown tenant fields: {', '.join(sorted(fields))}")
@@ -463,6 +504,11 @@ def _parse_tenant(spec: str):
             cache_bytes=int(float(cache_kb) * 1024) if cache_kb else None,
             queue_cap=int(queue_cap) if queue_cap else None,
             degradable=degradable,
+            slo_latency_s=float(slo_latency) if slo_latency else None,
+            slo_target=slo_target,
+            slo_availability=(
+                float(slo_availability) if slo_availability else None
+            ),
         )
         traffic = TenantTraffic(
             tenant=name,
@@ -476,7 +522,8 @@ def _parse_tenant(spec: str):
     return tenant, traffic
 
 
-def cmd_serve(args) -> int:
+def _make_service(args, observer=None, timeline=None):
+    """A :class:`GraphService` plus its trace, from the shared flags."""
     image = load_dataset(args.dataset)
     parsed = [_parse_tenant(spec) for spec in args.tenant]
     tenants = [tenant for tenant, _ in parsed]
@@ -485,7 +532,6 @@ def cmd_serve(args) -> int:
     fault_plan = None
     if args.fault_seed is not None:
         fault_plan = default_chaos_plan(args.fault_seed)
-    observer = Observer() if args.trace_spans else None
     overload = None
     if args.overload:
         overload = OverloadConfig(
@@ -515,7 +561,19 @@ def cmd_serve(args) -> int:
         fault_plan=fault_plan,
         health_policy=HealthPolicy() if fault_plan is not None else None,
         observer=observer,
+        timeline=timeline,
     )
+    return service, trace
+
+
+def cmd_serve(args) -> int:
+    observer = Observer() if args.trace_spans else None
+    timeline = (
+        TimelineSampler(TimelineConfig(interval_s=args.timeline_interval))
+        if args.timeline
+        else None
+    )
+    service, trace = _make_service(args, observer=observer, timeline=timeline)
     report = service.serve(trace)
     print(
         f"served {report.completed}/{report.offered} queries "
@@ -552,11 +610,54 @@ def cmd_serve(args) -> int:
     if args.trace_spans:
         write_jsonl(observer, args.trace_spans)
         print(f"wrote span trace -> {args.trace_spans}")
+    if args.timeline:
+        with open(args.timeline, "w") as f:
+            f.write(timeline.to_markdown())
+            f.write("\n")
+        print(f"wrote timeline -> {args.timeline}")
     if args.out:
         with open(args.out, "w") as f:
             json.dump(report.to_dict(), f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"wrote report -> {args.out}")
+    return 0
+
+
+def cmd_slo(args) -> int:
+    """A serve run with the SLO observability plane fully armed: the
+    timeline sampler streams windowed snapshots, tenants' declared
+    objectives feed the burn-rate tracker, and the validated
+    ``repro.slo/v1`` report lands in ``--out``."""
+    observer = Observer() if args.trace_spans else None
+    timeline = TimelineSampler(
+        TimelineConfig(interval_s=args.timeline_interval)
+    )
+    service, trace = _make_service(args, observer=observer, timeline=timeline)
+    if service.slo is None:
+        raise SystemExit(
+            "repro slo needs at least one tenant declaring an objective "
+            "(slo-latency= or slo-availability= in --tenant)"
+        )
+    report = service.serve(trace)
+    label = f"{args.dataset} policy={args.policy} seed={args.seed}"
+    doc = build_slo_report(report, service.slo, timeline, label=label)
+    problems = validate_slo_report(doc)
+    if problems:
+        for problem in problems:
+            print(f"slo report invalid: {problem}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    if args.timeline:
+        with open(args.timeline, "w") as f:
+            f.write(timeline.to_markdown())
+            f.write("\n")
+    if args.trace_spans:
+        write_jsonl(observer, args.trace_spans)
+    print(format_slo_report(doc))
+    print(timeline.to_markdown())
+    print(f"wrote slo report -> {args.out}")
     return 0
 
 
@@ -640,6 +741,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "slo":
+        return cmd_slo(args)
     if args.command == "bench":
         return cmd_bench(args)
     if args.command == "graph":

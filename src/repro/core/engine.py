@@ -161,11 +161,18 @@ class EngineJob:
     jobs by always stepping the one with the smallest :attr:`clock`.
     """
 
-    def __init__(self, engine, steps, base, start_time: float) -> None:
+    def __init__(
+        self, engine, steps, base, start_time: float, span_context=None
+    ) -> None:
         self._engine = engine
         self._steps = steps
         self._base = base
         self.start_time = start_time
+        #: Query span context (``{"query", "tenant", "app"}``) installed
+        #: on the armed observer around every step, so all spans the
+        #: step produces join into one per-query trace; ``None`` (every
+        #: batch run) records exactly the pre-context spans.
+        self.span_context = span_context
         self._result: Optional[RunResult] = None
         self._done = False
 
@@ -232,6 +239,9 @@ class EngineJob:
         if self._done:
             return False
         engine = self._engine
+        obs = engine.obs if self.span_context is not None else None
+        if obs is not None:
+            obs.set_query_context(self.span_context)
         try:
             next(self._steps)
         except StopIteration:
@@ -249,6 +259,9 @@ class EngineJob:
             raise engine._abort_run(
                 exc, self._base, engine._peak_messages, self.start_time
             ) from exc
+        finally:
+            if obs is not None:
+                obs.clear_query_context()
         return True
 
     def result(self) -> RunResult:
@@ -367,6 +380,7 @@ class GraphEngine:
         initial_active: Optional[np.ndarray] = None,
         max_iterations: Optional[int] = None,
         start_time: float = 0.0,
+        span_context: Optional[dict] = None,
     ) -> "EngineJob":
         """Set up a run and return it as a steppable :class:`EngineJob`.
 
@@ -377,6 +391,9 @@ class GraphEngine:
         time.  ``start_time`` seeds every worker clock, so a service can
         start jobs mid-timeline on the shared DES clock; the returned
         result's ``runtime`` is still relative to the job's own start.
+        ``span_context`` (a ``{"query", "tenant", "app"}`` dict) tags
+        every span an armed observer records during the job's steps —
+        the serving layer's end-to-end query tracing.
         One engine drives one job at a time — the job borrows the
         engine's mutable state until it finishes.
         """
@@ -428,7 +445,7 @@ class GraphEngine:
             self, frontier, scheduler, max_iterations, base,
             self._checkpoint_manager, self._checkpoint_every,
         )
-        return EngineJob(self, steps, base, start_time)
+        return EngineJob(self, steps, base, start_time, span_context)
 
     def _abort_run(
         self,

@@ -129,6 +129,15 @@ class SyncExecution(ExecutionPolicy):
                         frontier, engine._peak_messages, base, scheduler
                     )
                 )
+            obs = engine.obs
+            if obs is not None:
+                # Emits only under a query span context (serving runs),
+                # so batch traces stay byte-identical.
+                obs.job_barrier(
+                    engine.iteration,
+                    max(w.time for w in engine._workers),
+                    engine._barrier_frontier,
+                )
             yield engine.iteration
 
 
@@ -204,6 +213,15 @@ class AsyncExecution(ExecutionPolicy):
                         scheduler,
                         execution=self.export_state(),
                     )
+                )
+            obs = engine.obs
+            if obs is not None:
+                # Same query-context-gated barrier event as the sync
+                # loop: a round boundary is the async job's barrier.
+                obs.job_barrier(
+                    engine.iteration,
+                    max(w.time for w in engine._workers),
+                    engine._barrier_frontier,
                 )
             yield engine.iteration
 

@@ -206,8 +206,30 @@ GAUGE_FRONTIER_SIZE = "engine.frontier_size"
 GAUGE_CACHE_OCCUPANCY = "cache.occupancy_pages"
 GAUGE_IN_FLIGHT = "io.in_flight_requests"
 
-KNOWN_GAUGES = frozenset(
-    {GAUGE_FRONTIER_SIZE, GAUGE_CACHE_OCCUPANCY, GAUGE_IN_FLIGHT}
+#: Gauges every armed *batch* run samples exactly once per iteration
+#: barrier (the engine-loop invariant `tests/obs/test_spans.py` pins).
+ENGINE_GAUGES = frozenset(
+    {
+        GAUGE_FRONTIER_SIZE,
+        GAUGE_CACHE_OCCUPANCY,
+        GAUGE_IN_FLIGHT,
+    }
+)
+
+#: Serving-layer timeline gauges (see ``repro.obs.timeline``), sampled
+#: at fixed DES-clock window boundaries by the armed timeline sampler.
+#: The service-wide ones are plain gauges; the rest are per-tenant
+#: *families* below.
+GAUGE_SERVE_BROWNOUT_STATE = "serve.brownout_state_level"
+GAUGE_SERVE_UNHEALTHY_FRACTION = "serve.unhealthy_device_fraction"
+GAUGE_SERVE_GLOBAL_QUEUE_DEPTH = "serve.global_queue_depth"
+
+KNOWN_GAUGES = ENGINE_GAUGES | frozenset(
+    {
+        GAUGE_SERVE_BROWNOUT_STATE,
+        GAUGE_SERVE_UNHEALTHY_FRACTION,
+        GAUGE_SERVE_GLOBAL_QUEUE_DEPTH,
+    }
 )
 
 #: Per-cache-set hit rate, sampled as ``cache.set_hit_rate.<set index>``
@@ -216,6 +238,28 @@ KNOWN_GAUGES = frozenset(
 #: per-set names are derived, so the family prefix — not each member —
 #: is the registered constant.
 GAUGE_CACHE_SET_HIT_RATE = "cache.set_hit_rate"
+
+#: Timeline gauge families, one series per tenant
+#: (``<family>.<tenant>``), emitted at every closed sampling window:
+#: completed-query throughput, windowed latency quantiles (streamed
+#: through :class:`~repro.sim.stats.Histogram`), admission-queue depth
+#: and quota occupancy (running jobs / ``max_concurrent``).
+GAUGE_SERVE_WINDOW_THROUGHPUT = "serve.window_throughput_qps"
+GAUGE_SERVE_WINDOW_P50 = "serve.window_latency_p50_s"
+GAUGE_SERVE_WINDOW_P99 = "serve.window_latency_p99_s"
+GAUGE_SERVE_QUEUE_DEPTH = "serve.queue_depth"
+GAUGE_SERVE_QUOTA_OCCUPANCY = "serve.quota_occupancy"
+
+KNOWN_GAUGE_FAMILIES = frozenset(
+    {
+        GAUGE_CACHE_SET_HIT_RATE,
+        GAUGE_SERVE_WINDOW_THROUGHPUT,
+        GAUGE_SERVE_WINDOW_P50,
+        GAUGE_SERVE_WINDOW_P99,
+        GAUGE_SERVE_QUEUE_DEPTH,
+        GAUGE_SERVE_QUOTA_OCCUPANCY,
+    }
+)
 
 
 def histogram_bounds(name: str):
@@ -243,4 +287,20 @@ def unknown_counters(names) -> list:
         name
         for name in unknown
         if name.rsplit(".", 1)[0] not in KNOWN_COUNTER_FAMILIES
+    )
+
+
+def unknown_gauges(names) -> list:
+    """The subset of gauge-series ``names`` outside the registry, sorted.
+
+    Mirrors :func:`unknown_counters` for the gauge namespace: a name is
+    known when it is in :data:`KNOWN_GAUGES` directly or its
+    ``<family>.<member>`` prefix is in :data:`KNOWN_GAUGE_FAMILIES`
+    (the per-tenant and per-cache-set series).
+    """
+    unknown = set(names) - KNOWN_GAUGES
+    return sorted(
+        name
+        for name in unknown
+        if name.rsplit(".", 1)[0] not in KNOWN_GAUGE_FAMILIES
     )

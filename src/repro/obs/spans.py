@@ -36,9 +36,11 @@ from repro.obs import registry
 #: Microseconds per simulated second (Chrome trace timestamps are µs).
 _US = 1e6
 
-#: Chrome thread ids: engine iterations, SAFS io spans, then devices.
+#: Chrome thread ids: engine iterations, SAFS io spans, query lifecycle
+#: events (serving runs only), then devices.
 _TID_ENGINE = 1
 _TID_SAFS = 2
+_TID_QUERIES = 3
 _TID_DEVICE_BASE = 100
 
 
@@ -69,11 +71,21 @@ class Observer:
         self.device_spans: List[dict] = []
         #: One record per engine-level request element.
         self.request_spans: List[dict] = []
+        #: Per-query lifecycle events (queued/shed/admitted/barrier/…),
+        #: fed by the serving layer; empty — and therefore invisible in
+        #: every export — on batch runs.
+        self.query_spans: List[dict] = []
         #: Stats collector fed with histograms/gauges (set by :func:`arm`).
         self.stats = None
         #: Io-span ids of the last ``submit_spans`` call, for the engine
         #: fast path to link elements to their merged span.
         self.last_io_ids: Optional[List[int]] = None
+        #: Active query span context (``{"query", "tenant", "app"}``),
+        #: set by :class:`~repro.core.engine.EngineJob` around each step
+        #: when the job was started with one; every span recorded while
+        #: it is set carries the query id, which is what joins the
+        #: layers into one per-query critical path (:func:`query_path`).
+        self._query: Optional[dict] = None
         self._iter: Optional[dict] = None
         self._io: Optional[dict] = None
         self._next_io = 0
@@ -83,6 +95,59 @@ class Observer:
         self._outstanding: Dict[int, list] = {}
         self._busy_base: List[float] = []
         self._engine = None
+
+    # ------------------------------------------------------------------
+    # Query span context (end-to-end tracing across the serving layer)
+    # ------------------------------------------------------------------
+
+    def set_query_context(self, context: dict) -> None:
+        """Tag every span recorded until :meth:`clear_query_context`
+        with ``context`` (``{"query": id, "tenant": ..., "app": ...}``)."""
+        self._query = context
+
+    def clear_query_context(self) -> None:
+        self._query = None
+
+    def note_query_event(
+        self, event: str, time: float, context: dict, **fields
+    ) -> None:
+        """One query lifecycle event (queued, shed, admitted,
+        deadline-abort, completed, aborted) at simulated ``time``."""
+        record = {
+            "type": "query",
+            "event": event,
+            "time": time,
+            "query": context["query"],
+            "tenant": context["tenant"],
+            "app": context["app"],
+        }
+        for key, value in sorted(fields.items()):
+            record[key] = _jsonable(value)
+        self.query_spans.append(record)
+
+    def job_barrier(self, iteration: int, time: float, frontier: int) -> None:
+        """An :class:`~repro.core.engine.EngineJob` iteration barrier.
+
+        Recorded only under a query span context: batch runs (which
+        never set one) keep producing byte-identical traces.
+        """
+        if self._query is None:
+            return
+        self.note_query_event(
+            "barrier",
+            time,
+            self._query,
+            iteration=int(iteration),
+            frontier=int(frontier),
+        )
+
+    def _tag_query(self, record: dict) -> dict:
+        """Stamp the active query context onto ``record`` (no-op when
+        none is set, so batch-run spans are byte-identical to before)."""
+        if self._query is not None:
+            record["query"] = self._query["query"]
+            record["tenant"] = self._query["tenant"]
+        return record
 
     # ------------------------------------------------------------------
     # Engine hooks
@@ -102,7 +167,7 @@ class Observer:
             "recovery_s": 0.0,
         }
         self._busy_base = [w.busy for w in workers]
-        self.iterations.append(self._iter)
+        self.iterations.append(self._tag_query(self._iter))
 
     def end_iteration(self, barrier: float, workers, engine) -> None:
         row = self._iter
@@ -151,7 +216,7 @@ class Observer:
             "done": issue,
             "events": [["issued", issue]],
         }
-        self.io_spans.append(self._io)
+        self.io_spans.append(self._tag_query(self._io))
         if self.stats is not None:
             self.stats.observe(
                 registry.HIST_IO_MERGE_RUN_LENGTH,
@@ -217,7 +282,7 @@ class Observer:
             record["context"] = [_jsonable(c) for c in context] if isinstance(
                 context, (tuple, list)
             ) else _jsonable(context)
-        self.request_spans.append(record)
+        self.request_spans.append(self._tag_query(record))
 
     def request_events_batch(
         self, vertices, directions, io_ids, issued: float, times
@@ -229,11 +294,12 @@ class Observer:
         self-requests for edges, so vertex == target and kind is fixed.
         """
         append = self.request_spans.append
+        tag = self._tag_query
         for vertex, direction, io_id, done in zip(
             vertices, directions, io_ids, times
         ):
             append(
-                {
+                tag({
                     "type": "request",
                     "io": int(io_id),
                     "issued": issued,
@@ -242,7 +308,7 @@ class Observer:
                     "direction": _jsonable(direction),
                     "kind": "edges",
                     "target": int(vertex),
-                }
+                })
             )
 
     # ------------------------------------------------------------------
@@ -269,7 +335,7 @@ class Observer:
         heappush(heap, start + service)
         recovery = self._recovery_depth > 0
         self.device_spans.append(
-            {
+            self._tag_query({
                 "type": "device",
                 "device": device,
                 "name": ssd.name,
@@ -281,7 +347,7 @@ class Observer:
                 "outcome": outcome,
                 "done": done,
                 "recovery": recovery,
-            }
+            })
         )
         row = self._iter
         if row is not None:
@@ -318,6 +384,39 @@ class Observer:
         for span in self.device_spans:
             busy[span["name"]] = busy.get(span["name"], 0.0) + span["service"]
         return busy
+
+
+#: Sort-time accessor per record type, for :func:`query_path`.
+_SPAN_TIME = {
+    "query": lambda r: r["time"],
+    "iteration": lambda r: r["start"],
+    "io": lambda r: r["issue"],
+    "device": lambda r: r["arrival"],
+    "request": lambda r: r["issued"],
+}
+
+#: Tie-break order at equal times: lifecycle event first, then the
+#: containment order iteration ⊃ io ⊃ device ⊃ request.
+_SPAN_ORDER = {"query": 0, "iteration": 1, "io": 2, "device": 3, "request": 4}
+
+
+def query_path(observer: Observer, query: int) -> List[dict]:
+    """Every traced record of query ``query``, in critical-path order.
+
+    Joins the query's lifecycle events (queued → shed/admitted →
+    barriers → deadline-abort/completed/aborted) with the iteration,
+    io, device and request spans its steps produced — the end-to-end
+    admission→outcome view the serving acceptance tests pin.  Sorted by
+    each record's start time (ties: lifecycle, then outer-to-inner
+    span), deterministically.
+    """
+    path = [
+        record
+        for record in _records(observer)
+        if record.get("query") == query
+    ]
+    path.sort(key=lambda r: (_SPAN_TIME[r["type"]](r), _SPAN_ORDER[r["type"]]))
+    return path
 
 
 # ----------------------------------------------------------------------
@@ -376,6 +475,8 @@ def _records(observer: Observer):
     for span in observer.device_spans:
         yield span
     for span in observer.request_spans:
+        yield span
+    for span in observer.query_spans:
         yield span
 
 
@@ -490,6 +591,36 @@ def to_chrome(observer: Observer) -> dict:
                 },
             }
         )
+    if observer.query_spans:
+        # Serving runs only: batch traces carry no query events, so
+        # their Chrome documents are byte-identical to before.
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": _TID_QUERIES,
+                "name": "thread_name",
+                "args": {"name": "queries"},
+            }
+        )
+        for span in observer.query_spans:
+            args = {
+                key: value
+                for key, value in span.items()
+                if key not in ("type", "event", "time")
+            }
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": _TID_QUERIES,
+                    "cat": "query",
+                    "name": f"q{span['query']} {span['event']}",
+                    "ts": span["time"] * _US,
+                    "args": args,
+                }
+            )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

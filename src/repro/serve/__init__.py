@@ -31,6 +31,7 @@ from repro.serve.overload import (
 from repro.serve.queries import Query, QueryFactory
 from repro.serve.service import (
     GraphService,
+    ServeTelemetry,
     ServiceConfig,
     ServiceReport,
     TenantReport,
@@ -48,6 +49,7 @@ __all__ = [
     "Query",
     "QueryFactory",
     "QuotaExceeded",
+    "ServeTelemetry",
     "ServiceConfig",
     "ServiceReport",
     "ShedRecord",

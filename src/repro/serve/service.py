@@ -37,6 +37,7 @@ from repro.core.config import EngineConfig, ExecutionMode
 from repro.core.engine import EngineJob, GraphEngine, IterationAborted, RunResult
 from repro.graph.builder import GraphImage
 from repro.obs import registry as reg
+from repro.obs.slo import SLOConfig, SLOTracker
 from repro.safs.filesystem import SAFS, SAFSConfig
 from repro.safs.page import SAFSFile
 from repro.safs.page_cache import PageCache, PageCacheConfig
@@ -46,6 +47,7 @@ from repro.serve.queries import Query, QueryFactory
 from repro.serve.tenants import TenantAccountant, TenantSpec
 from repro.serve.traffic import Arrival
 from repro.sim.cost_model import CostModel
+from repro.sim.stats import Histogram
 from repro.sim.faults import FaultPlan, FaultPolicy
 from repro.sim.health import HealthPolicy
 from repro.sim.parity import ParityConfig
@@ -106,6 +108,9 @@ class JobRecord:
     abort_reason: Optional[str] = None
     #: Whether brownout admitted this job at reduced fidelity.
     degraded: bool = False
+    #: Trace-global query id (``Arrival.index``) — the join key between
+    #: this record and every span the query produced (``query_path``).
+    index: int = -1
 
     @property
     def latency(self) -> float:
@@ -116,12 +121,29 @@ class JobRecord:
         return self.start_time - self.arrival_time
 
 
-def _quantile(sorted_values: List[float], q: float) -> float:
-    """The q-quantile by rank (deterministic, no interpolation)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, math.ceil(q * len(sorted_values)))
-    return sorted_values[min(rank, len(sorted_values)) - 1]
+def _query_context(arrival: Arrival) -> dict:
+    """The span context joining all of one query's trace records: the
+    trace-global query id plus its tenant/app labels."""
+    return {
+        "query": arrival.index,
+        "tenant": arrival.tenant,
+        "app": arrival.app,
+    }
+
+
+def _latency_histogram(values) -> Histogram:
+    """The serving layer's canonical latency histogram over ``values``.
+
+    Every quantile the serving layer reports — per-tenant, whole-run
+    and windowed (``repro.obs.timeline``) — goes through the same
+    fixed ``serve.query_seconds`` bucket layout and the interpolation
+    semantics documented on :meth:`~repro.sim.stats.Histogram.quantile`,
+    so no two call sites can disagree on what "p99" means.
+    """
+    hist = Histogram(reg.histogram_bounds(reg.HIST_SERVE_QUERY_SECONDS))
+    for value in values:
+        hist.observe(value)
+    return hist
 
 
 @dataclass
@@ -142,7 +164,7 @@ class TenantReport:
     queue_waits: List[float] = field(default_factory=list)
 
     def latency_quantile(self, q: float) -> float:
-        return _quantile(sorted(self.latencies), q)
+        return _latency_histogram(self.latencies).quantile(q)
 
     def to_dict(self) -> dict:
         return {
@@ -182,6 +204,11 @@ class ServiceReport:
     #: The overload controller's summary (state machine outcome and the
     #: deterministic event log); ``None`` when overload control is off.
     overload: Optional[dict] = None
+    #: The SLO tracker's summary — per-objective compliance plus the
+    #: burn-rate threshold-crossing event log, time-ordered alongside
+    #: the overload events above; ``None`` when no tenant declares
+    #: objectives (see ``repro.obs.slo``).
+    slo: Optional[dict] = None
 
     @property
     def shed(self) -> int:
@@ -192,7 +219,7 @@ class ServiceReport:
         return self.completed / self.duration_s if self.duration_s > 0 else 0.0
 
     def latency_quantile(self, q: float) -> float:
-        return _quantile(sorted(r.latency for r in self.records), q)
+        return _latency_histogram(r.latency for r in self.records).quantile(q)
 
     def to_dict(self) -> dict:
         return {
@@ -212,6 +239,7 @@ class ServiceReport:
                 for name, report in sorted(self.tenants.items())
             },
             "overload": self.overload,
+            "slo": self.slo,
         }
 
 
@@ -231,6 +259,31 @@ class _Running:
     aborted: Optional[IterationAborted] = None
     degraded: bool = False
     deadline_aborted: bool = False
+
+
+@dataclass
+class ServeTelemetry:
+    """The event loop's live accumulators, readable mid-run.
+
+    :meth:`GraphService.serve` keeps its working state here (published
+    as ``service.telemetry``) instead of in loop locals, so the
+    timeline sampler can read queue depths and completion counts at any
+    window boundary.  The ``serve.*`` counters are still flushed from
+    these accumulators exactly once, after the last job —
+    ``_write_serve_counters`` reads this object at the end — so
+    observing mid-run cannot perturb the bit-identical final snapshot
+    (the armed-vs-disarmed identity tests pin this).
+    """
+
+    #: Per-tenant outcome reports, updated as each job finalizes.
+    reports: Dict[str, TenantReport]
+    #: Revealed-but-unadmitted queries, in reveal order.
+    waiting: List["_Waiting"] = field(default_factory=list)
+    #: Admitted, unfinished jobs.
+    running: List["_Running"] = field(default_factory=list)
+    completed: int = 0
+    aborted: int = 0
+    deadline_aborted: int = 0
 
 
 class GraphService:
@@ -257,6 +310,8 @@ class GraphService:
         parity: Optional[ParityConfig] = None,
         cost_model: Optional[CostModel] = None,
         observer=None,
+        timeline=None,
+        slo_config: Optional[SLOConfig] = None,
         source: Optional[int] = None,
     ) -> None:
         if not tenants:
@@ -308,6 +363,20 @@ class GraphService:
         self.accountant = TenantAccountant(names)
         self.accountant.install(array)
         self.observer = observer
+        #: Timeline sampler (``repro.obs.timeline``); ``None`` disarmed.
+        self.timeline = timeline
+        if timeline is not None:
+            timeline.bind(self)
+        #: SLO burn-rate tracker, armed automatically when any tenant
+        #: declares objectives (pure bookkeeping outside the shared
+        #: counters, so arming never perturbs counter bit-identity).
+        self.slo: Optional[SLOTracker] = (
+            SLOTracker(self.tenants, slo_config)
+            if any(spec.slo_objectives for spec in tenants)
+            else None
+        )
+        #: Live event-loop accumulators; set by :meth:`serve`.
+        self.telemetry: Optional[ServeTelemetry] = None
         #: Per-tenant cache partitions (only tenants that asked for one).
         self.cache_partitions: Dict[str, PageCache] = {}
         for spec in tenants:
@@ -339,14 +408,19 @@ class GraphService:
             if later.time < earlier.time:
                 raise ValueError("the trace must be sorted by arrival time")
         pending = deque(trace)
-        waiting: List[_Waiting] = []
-        running: List[_Running] = []
-        reports = {name: TenantReport(tenant=name) for name in self.tenants}
+        telemetry = ServeTelemetry(
+            reports={name: TenantReport(tenant=name) for name in self.tenants}
+        )
+        self.telemetry = telemetry
+        waiting = telemetry.waiting
+        running = telemetry.running
+        reports = telemetry.reports
         records: List[JobRecord] = []
         sheds: List[ShedRecord] = []
         free_at: Dict[str, float] = {name: 0.0 for name in self.tenants}
-        completed = aborted = deadline_aborted = 0
         overload = self.overload
+        observer = self.observer
+        timeline = self.timeline
 
         while pending or waiting or running:
             if running:
@@ -360,6 +434,10 @@ class GraphService:
                 frontier = pending[0].time
             while pending and pending[0].time <= frontier:
                 arrival = pending.popleft()
+                if observer is not None:
+                    observer.note_query_event(
+                        "queued", arrival.time, _query_context(arrival)
+                    )
                 if overload is None:
                     waiting.append(_Waiting(arrival))
                 else:
@@ -369,6 +447,15 @@ class GraphService:
                     self._expire_waiting(waiting, frontier, sheds)
                 if overload.sample_due(frontier):
                     self._observe_pressure(frontier, waiting)
+            # The boundary compare keeps the hot loop at one float test
+            # per pass; the sampler call only happens when a window
+            # actually closes (plus once per completion, in _finalize).
+            if (
+                timeline is not None
+                and frontier >= timeline.next_boundary_s
+                and math.isfinite(frontier)
+            ):
+                timeline.note_time(frontier)
             self._admit(waiting, running, free_at, frontier, sheds)
             if not running:
                 continue
@@ -381,11 +468,11 @@ class GraphService:
                 record = self._finalize(current, free_at, reports)
                 records.append(record)
                 if record.ok:
-                    completed += 1
+                    telemetry.completed += 1
                 else:
-                    aborted += 1
+                    telemetry.aborted += 1
                     if current.deadline_aborted:
-                        deadline_aborted += 1
+                        telemetry.deadline_aborted += 1
 
         for name, report in reports.items():
             report.quota_waits = self.admission.quota_waits[name]
@@ -394,8 +481,8 @@ class GraphService:
                 reports[name].busy_seconds = busy
         duration = max((r.finish_time for r in records), default=0.0)
         summary = None
+        end = duration
         if overload is not None:
-            end = duration
             if overload.events:
                 end = max(end, overload.events[-1].time)
             overload.finish(end)
@@ -404,19 +491,24 @@ class GraphService:
                 report.shed = overload.sheds.get(name, 0)
                 report.deadline_aborts = overload.deadline_aborts.get(name, 0)
                 report.degraded = overload.degraded_jobs.get(name, 0)
-        self._write_serve_counters(reports, completed, aborted)
+        if self.slo is not None:
+            self.slo.finish(end)
+        if timeline is not None:
+            timeline.finish(end)
+        self._write_serve_counters(telemetry)
         return ServiceReport(
             policy=self.config.policy,
             offered=len(trace),
-            completed=completed,
-            aborted=aborted,
+            completed=telemetry.completed,
+            aborted=telemetry.aborted,
             quota_waits=self.admission.total_quota_waits(),
             duration_s=duration,
             tenants=reports,
             records=records,
             sheds=sheds,
-            deadline_aborts=deadline_aborted,
+            deadline_aborts=telemetry.deadline_aborted,
             overload=summary,
+            slo=self.slo.summary() if self.slo is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -483,6 +575,16 @@ class GraphService:
             record.age,
             reg.histogram_bounds(reg.HIST_SERVE_SHED_AGE_SECONDS),
         )
+        if self.slo is not None:
+            self.slo.record(arrival.tenant, shed_time, "shed")
+        if self.observer is not None:
+            self.observer.note_query_event(
+                "shed",
+                shed_time,
+                _query_context(arrival),
+                reason=reason,
+                age=record.age,
+            )
         return record
 
     def _observe_pressure(self, now: float, waiting: List[_Waiting]) -> None:
@@ -540,6 +642,14 @@ class GraphService:
         run.aborted = run.job.cancel(f"deadline unreachable: {reason}")
         run.deadline_aborted = True
         overload.record_deadline_abort(run.arrival, now, reason)
+        if self.observer is not None:
+            self.observer.note_query_event(
+                "deadline-abort",
+                now,
+                _query_context(run.arrival),
+                reason=reason,
+                iteration=run.job.iteration,
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -659,15 +769,25 @@ class GraphService:
             config=self._engine_config,
             cost_model=self.cost_model,
         )
+        span_context = None
         if self.observer is not None:
             from repro.obs.spans import arm
 
             arm(engine, self.observer)
+            span_context = _query_context(arrival)
+            self.observer.note_query_event(
+                "admitted",
+                start,
+                span_context,
+                queue_wait=start - arrival.time,
+                degraded=degraded,
+            )
         job = engine.start_job(
             query.program,
             initial_active=query.initial_active,
             max_iterations=query.max_iterations,
             start_time=start,
+            span_context=span_context,
         )
         running.append(
             _Running(
@@ -728,6 +848,7 @@ class GraphService:
             values=run.query.values() if ok else None,
             abort_reason=reason,
             degraded=run.degraded,
+            index=run.arrival.index,
         )
         report = reports[tenant]
         report.jobs += 1
@@ -747,20 +868,43 @@ class GraphService:
             record.queue_wait,
             reg.histogram_bounds(reg.HIST_SERVE_QUEUE_WAIT_SECONDS),
         )
+        if self.slo is not None:
+            self.slo.record(
+                tenant,
+                finish,
+                "completed" if ok else "aborted",
+                record.latency,
+            )
+        if self.timeline is not None:
+            self.timeline.note_completion(tenant, finish, record.latency, ok)
+        if self.observer is not None:
+            fields = {"latency": record.latency, "iterations": result.iterations}
+            if not ok:
+                fields["reason"] = reason
+            self.observer.note_query_event(
+                "completed" if ok else "aborted",
+                finish,
+                _query_context(run.arrival),
+                **fields,
+            )
         return record
 
-    def _write_serve_counters(
-        self, reports: Dict[str, TenantReport], completed: int, aborted: int
-    ) -> None:
+    def _write_serve_counters(self, telemetry: ServeTelemetry) -> None:
         """Tally the service's own counters, once, after the last job —
-        a mid-run add would leak into concurrent jobs' counter diffs."""
+        a mid-run add would leak into concurrent jobs' counter diffs.
+        Everything flushed here comes from the :class:`ServeTelemetry`
+        accumulators the timeline sampler reads mid-run; reading them
+        early never moves a counter, so an armed sampler's final
+        ``serve.*`` snapshot is byte-identical to a disarmed run's."""
         stats = self.stats
+        completed = telemetry.completed
+        aborted = telemetry.aborted
         stats.add(reg.SERVE_JOBS_ADMITTED, completed + aborted)
         stats.add(reg.SERVE_JOBS_COMPLETED, completed)
         stats.add(reg.SERVE_JOBS_ABORTED, aborted)
         stats.add(reg.SERVE_QUOTA_WAITS, self.admission.total_quota_waits())
         busy = self.accountant.busy_by_tenant()
-        for name, report in sorted(reports.items()):
+        for name, report in sorted(telemetry.reports.items()):
             stats.add(f"{reg.SERVE_TENANT_JOBS}.{name}", report.jobs)
             stats.add(f"{reg.SERVE_TENANT_ABORTS}.{name}", report.aborts)
             stats.add(

@@ -38,6 +38,17 @@ class TenantSpec:
     #: (lower PageRank iteration cap, coarser tolerance).  Tenants
     #: paying for full fidelity opt out and only ever see shed/abort.
     degradable: bool = True
+    #: Latency objective: completed queries should finish within this
+    #: many simulated seconds of arrival.  ``None`` declares no latency
+    #: objective (the SLO tracker then ignores this tenant's latency).
+    slo_latency_s: Optional[float] = None
+    #: Fraction of queries that must meet :attr:`slo_latency_s` — the
+    #: latency objective's target; ``1 - slo_target`` is its error
+    #: budget (see ``repro.obs.slo``).
+    slo_target: float = 0.99
+    #: Availability objective: the fraction of offered queries that must
+    #: be *served* (not shed, not aborted).  ``None`` declares none.
+    slo_availability: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name or "." in self.name:
@@ -55,6 +66,30 @@ class TenantSpec:
             raise ValueError("cache_bytes must be positive")
         if self.queue_cap is not None and self.queue_cap < 1:
             raise ValueError("queue_cap must be at least 1")
+        if self.slo_latency_s is not None and self.slo_latency_s <= 0.0:
+            raise ValueError("slo_latency_s must be positive")
+        if not 0.0 < self.slo_target < 1.0:
+            raise ValueError("slo_target must lie in (0, 1)")
+        if self.slo_availability is not None and not (
+            0.0 < self.slo_availability < 1.0
+        ):
+            raise ValueError("slo_availability must lie in (0, 1)")
+
+    @property
+    def slo_objectives(self) -> Dict[str, Tuple[float, float]]:
+        """Declared objectives as ``{kind: (threshold, target)}``.
+
+        ``"latency"`` maps ``(slo_latency_s, slo_target)``;
+        ``"availability"`` maps ``(0.0, slo_availability)`` (it has no
+        threshold — a query is good when it was served at all).  Empty
+        when the tenant declares no objectives.
+        """
+        objectives: Dict[str, Tuple[float, float]] = {}
+        if self.slo_latency_s is not None:
+            objectives["latency"] = (self.slo_latency_s, self.slo_target)
+        if self.slo_availability is not None:
+            objectives["availability"] = (0.0, self.slo_availability)
+        return objectives
 
 
 class TenantAccountant:

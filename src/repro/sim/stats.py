@@ -58,6 +58,46 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimated from the bucket counts.
+
+        Interpolation semantics (shared by every quantile the stack
+        reports, so two call sites can never disagree):
+
+        - The target rank is ``q * count``; the containing bucket is the
+          first whose cumulative count reaches it.
+        - Mass is assumed uniform inside a bucket, so the result is a
+          linear interpolation between the bucket's edges by the rank's
+          position within the bucket.
+        - The underflow bucket's lower edge is the observed ``min``; the
+          overflow bucket's upper edge is the observed ``max`` — the
+          histogram never extrapolates past what it actually saw.
+        - The result is clamped to ``[min, max]``; an empty histogram
+          returns ``0.0``; ``q <= 0`` returns ``min``, ``q >= 1`` ``max``.
+
+        Deterministic: a pure function of the bucket counts and the
+        observed extrema, so same-seed runs agree byte for byte.
+        """
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lo = self.min if i == 0 else self.bounds[i - 1]
+                hi = self.max if i == len(self.bounds) else self.bounds[i]
+                fraction = (target - cumulative) / bucket_count
+                value = lo + (hi - lo) * fraction
+                return min(max(value, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - float backstop
+
     def summary(self) -> Dict[str, object]:
         """A JSON-ready description (stable key order via sort on dump)."""
         return {

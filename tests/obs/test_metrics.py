@@ -36,6 +36,39 @@ class TestHistogram:
         assert s["count"] == 0
         assert s["min"] is None and s["max"] is None
 
+    def test_quantile_empty_and_extremes(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        assert h.quantile(0.5) == 0.0  # empty histogram
+        h.observe(1.5)
+        h.observe(3.0)
+        assert h.quantile(0.0) == h.min
+        assert h.quantile(-1.0) == h.min
+        assert h.quantile(1.0) == h.max
+        assert h.quantile(2.0) == h.max
+
+    def test_quantile_interpolates_within_the_bucket(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        # q=0.5 -> target rank 2, inside the (1, 2] bucket, which holds
+        # ranks 1..3: linear interpolation between the bucket edges.
+        q50 = h.quantile(0.5)
+        assert 1.0 <= q50 <= 2.0
+
+    def test_quantile_is_monotone_and_clamped(self):
+        h = Histogram((0.001, 0.01, 0.1))
+        for v in (0.0005, 0.004, 0.02, 0.02, 0.5):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)]
+        assert qs == sorted(qs)
+        assert all(h.min <= value <= h.max for value in qs)
+
+    def test_quantile_single_observation(self):
+        h = Histogram((1.0,))
+        h.observe(0.25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.25
+
     def test_summary_roundtrips_bounds(self):
         bounds = registry.HISTOGRAM_BOUNDS[registry.HIST_SSD_QUEUE_DEPTH]
         h = Histogram(bounds)

@@ -115,9 +115,13 @@ class TestHistogramsAndGauges:
             assert key in hists and hists[key].count > 0
 
     def test_gauges_sampled_once_per_iteration(self, armed_run):
+        # Engine-loop gauges only: the serve.* gauges in KNOWN_GAUGES
+        # are sampled by the serving timeline, never by a batch run.
         engine, _, result = armed_run
-        for gauge in registry.KNOWN_GAUGES:
+        for gauge in registry.ENGINE_GAUGES:
             assert len(engine.stats.series(gauge)) == result.iterations
+        for gauge in registry.KNOWN_GAUGES - registry.ENGINE_GAUGES:
+            assert engine.stats.series(gauge) == []
 
     def test_per_set_hit_rate_gauges_sampled(self, armed_run):
         # Arming enables per-set tallies, and every probed set gets one

@@ -244,6 +244,45 @@ class TestProfile:
         assert "totals:" in out_text
 
 
+class TestSlo:
+    def test_slo_writes_valid_document_and_timeline(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.slo import SLO_SCHEMA, validate_slo_report
+
+        out = tmp_path / "slo.json"
+        timeline = tmp_path / "timeline.md"
+        rc = cli.main(
+            [
+                "slo", "--dataset", "page-sim", "--duration", "0.02",
+                "--seed", "11", "--overload",
+                "--tenant",
+                "name=acme,rate=400,quota=2,"
+                "slo-latency=0.02,slo-target=0.9,slo-availability=0.9",
+                "--out", str(out), "--timeline", str(timeline),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == SLO_SCHEMA
+        assert validate_slo_report(doc) == []
+        assert "acme" in doc["slo"]["tenants"]
+        assert doc["timeline"]
+        assert timeline.read_text().startswith("| window |")
+        out_text = capsys.readouterr().out
+        assert "latency" in out_text and "availability" in out_text
+
+    def test_slo_requires_a_declared_objective(self, tmp_path):
+        with pytest.raises(SystemExit, match="declaring an objective"):
+            cli.main(
+                [
+                    "slo", "--dataset", "page-sim", "--duration", "0.01",
+                    "--tenant", "name=acme,rate=200,quota=2",
+                    "--out", str(tmp_path / "slo.json"),
+                ]
+            )
+
+
 class TestGraphFormat:
     def _graph(self, tmp_path, seed=5, vertices=64):
         path = tmp_path / "g.txt"
