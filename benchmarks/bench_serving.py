@@ -34,6 +34,21 @@ within :data:`OVERLOAD_P99_MULT` x the clean base p99 and its queue
 bounded, while no-control under the same overdrive does not; it also
 reruns the full-brownout chaos point and asserts the shed/abort/
 brownout event stream is byte-identical.
+
+The **sharing rows** drive the *overlap* mix — two partitioned tenants
+issuing the same pr/wcc repeats — at a fixed QPS under four I/O-sharing
+levels (``off``, ``dedup``, ``dedup+rcache``, ``full``; see
+``docs/io_sharing.md``), clean and under chaos.  Each row records
+``bytes_read``, the page-accounting quadruple, and a digest of every
+completed query's output vector.  ``--check`` gates: dedup fires
+(``pages_deduped > 0``) on every sharing level, the conservation law
+``pages_requested == pages_fetched + pages_deduped + cache_hits``
+holds exactly on every row, sharing strictly reduces clean
+``bytes_read`` vs ``off``, outputs are digest-identical across clean
+levels (sharing never changes answers), and a same-seed rerun of the
+``full`` chaos point reproduces its row byte for byte.
+``--sharing-smoke`` runs only the sharing rows at half duration (the CI
+``io-sharing-smoke`` job).
 """
 
 import argparse
@@ -42,7 +57,10 @@ import json
 import sys
 from pathlib import Path
 
+import numpy as np
+
 from repro.bench.datasets import load_dataset
+from repro.obs import registry
 from repro.serve import (
     GraphService,
     OverloadConfig,
@@ -178,6 +196,115 @@ def _overload_mix(total_qps):
     return tenants, traffics
 
 
+#: Fixed offered QPS of the sharing rows: comfortably inside the sweep,
+#: high enough that pr/wcc repeats overlap in flight.
+SHARING_QPS = 120.0
+
+#: The four I/O-sharing levels of the overlap rows, weakest to
+#: strongest (ServiceConfig knobs; ``off`` is the PR-9 baseline).
+SHARING_LEVELS = {
+    "off": {},
+    "dedup": dict(share_reads=True),
+    "dedup+rcache": dict(share_reads=True, result_cache=True),
+    "full": dict(
+        share_reads=True, result_cache=True, cache_rebalance=True
+    ),
+}
+
+
+def _overlap_mix(total_qps):
+    """Two partitioned tenants (256 KiB each — dedup only fires across
+    partitions) issuing the *same* pr/wcc repeats: the overlapping-read
+    shape the I/O-sharing tentpole exists for."""
+    tenants = [
+        TenantSpec(name="ridge", max_concurrent=2, cache_bytes=1 << 18),
+        TenantSpec(name="vale", max_concurrent=2, cache_bytes=1 << 18),
+    ]
+    traffics = [
+        TenantTraffic(
+            tenant="ridge", rate_qps=total_qps / 2.0, apps=("pr", "wcc")
+        ),
+        TenantTraffic(
+            tenant="vale", rate_qps=total_qps / 2.0, apps=("pr", "wcc")
+        ),
+    ]
+    return tenants, traffics
+
+
+def _results_digest(report):
+    """SHA-256 over every completed query's output vector, in trace
+    order — the witness that a sharing level never changed an answer."""
+    digest = hashlib.sha256()
+    for record in sorted(report.records, key=lambda r: r.index):
+        if not record.ok or record.values is None:
+            continue
+        digest.update(f"{record.index}|{record.tenant}|{record.app}|".encode())
+        digest.update(np.asarray(record.values, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def run_sharing_point(image, level, chaos, duration_s=DURATION_S):
+    """One overlap-mix run at ``level`` (a SHARING_LEVELS key)."""
+    tenants, traffics = _overlap_mix(SHARING_QPS)
+    trace = generate_trace(traffics, duration_s, seed=TRAFFIC_SEED)
+    service = GraphService(
+        image,
+        tenants,
+        ServiceConfig(policy="fair", **SHARING_LEVELS[level]),
+        fault_plan=CHAOS_PLAN if chaos else None,
+        fault_policy=CHAOS_POLICY if chaos else None,
+    )
+    report = service.serve(trace)
+    quota_ok = all(
+        service.admission.peak[t.name] <= t.max_concurrent for t in tenants
+    )
+    stats = service.stats
+    requested = stats.get(registry.IO_PAGES_REQUESTED)
+    fetched = stats.get(registry.IO_PAGES_FETCHED)
+    deduped = stats.get(registry.SAFS_DEDUP_PAGES)
+    cache_hits = stats.get(registry.CACHE_HITS)
+    sharing = report.sharing or {}
+    result_cache = sharing.get("result_cache") or {}
+    rebalancer = sharing.get("rebalancer") or {}
+    return {
+        "mix": "overlap",
+        "variant": "chaos" if chaos else "clean",
+        "sharing": level,
+        "duration_s": duration_s,
+        "offered_qps": SHARING_QPS,
+        "offered": report.offered,
+        "completed": report.completed,
+        "aborted": report.aborted,
+        "quota_waits": report.quota_waits,
+        "quota_ok": quota_ok,
+        "sustained_qps": round(report.sustained_qps, 2),
+        "p50_ms": round(report.latency_quantile(0.50) * 1e3, 4),
+        "p99_ms": round(report.latency_quantile(0.99) * 1e3, 4),
+        "bytes_read": stats.get(registry.ARRAY_BYTES_READ),
+        "pages_requested": requested,
+        "pages_fetched": fetched,
+        "pages_deduped": deduped,
+        "cache_hits": cache_hits,
+        "dedup_waits": stats.get(registry.SAFS_DEDUP_WAITS),
+        "result_cache_hits": result_cache.get("hits", 0),
+        "rebalance_moves": rebalancer.get("moves", 0),
+        # The page-accounting conservation law: every requested page is
+        # served by exactly one of cache hit / fresh fetch / dedup
+        # attach.  Exact float equality — these are integer-valued
+        # counters.
+        "conservation_ok": requested == fetched + deduped + cache_hits,
+        # Chaos comparisons normalize per completed query: sharing lets
+        # more queries survive the fault plan, so absolute bytes can
+        # rise even as each answer costs less I/O.
+        "bytes_per_completed": (
+            round(stats.get(registry.ARRAY_BYTES_READ) / report.completed, 2)
+            if report.completed
+            else 0.0
+        ),
+        "results_digest": _results_digest(report),
+    }
+
+
 def run_point(image, mix, offered_qps, chaos, duration_s=DURATION_S):
     tenants, traffics = MIXES[mix](offered_qps)
     trace = generate_trace(traffics, duration_s, seed=TRAFFIC_SEED)
@@ -276,8 +403,16 @@ def run_overload_point(image, control, chaos, duration_s=DURATION_S):
     return row
 
 
-def run_all(smoke=False):
+def run_all(smoke=False, sharing_only=False):
     image = load_dataset("twitter-sim")
+    if sharing_only:
+        rows = []
+        for level in SHARING_LEVELS:
+            for chaos in (False, True):
+                rows.append(
+                    run_sharing_point(image, level, chaos, DURATION_S / 2)
+                )
+        return rows
     if smoke:
         points = [("interactive", qps) for qps in QPS_GRID[:2]]
         duration = DURATION_S / 2
@@ -298,6 +433,9 @@ def run_all(smoke=False):
             rows.append(run_point(image, mix, qps, chaos, duration))
     for control, chaos in overload_points:
         rows.append(run_overload_point(image, control, chaos, duration))
+    for level in SHARING_LEVELS:
+        for chaos in (False, True):
+            rows.append(run_sharing_point(image, level, chaos, duration))
     return rows
 
 
@@ -309,7 +447,8 @@ def format_markdown(rows):
     ]
     for row in rows:
         lines.append(
-            f"| {row['mix']} | {row['variant']} | {row.get('control', '-')} "
+            f"| {row['mix']} | {row['variant']} "
+            f"| {row.get('control', row.get('sharing', '-'))} "
             f"| {row['offered_qps']:g} "
             f"| {row['sustained_qps']:g} | {row['completed']} "
             f"| {row['aborted']} | {row.get('shed', 0)} "
@@ -323,7 +462,104 @@ def _row_label(row):
     label = f"{row['mix']}/{row['variant']}@{row['offered_qps']:g}qps"
     if "control" in row:
         label += f"/{row['control']}"
+    if "sharing" in row:
+        label += f"/{row['sharing']}"
     return label
+
+
+def _check_sharing(rows):
+    """The sharing-row gates (see the module docstring)."""
+    failed = False
+    sharing = [r for r in rows if r["mix"] == "overlap"]
+    if not sharing:
+        return False
+    for row in sharing:
+        label = _row_label(row)
+        if not row["conservation_ok"]:
+            print(
+                f"FAIL {label}: page conservation broken "
+                f"(requested {row['pages_requested']:g} != fetched "
+                f"{row['pages_fetched']:g} + deduped "
+                f"{row['pages_deduped']:g} + cache hits "
+                f"{row['cache_hits']:g})",
+                file=sys.stderr,
+            )
+            failed = True
+        if row["sharing"] == "off" and row["pages_deduped"] != 0:
+            print(
+                f"FAIL {label}: dedup fired with sharing off",
+                file=sys.stderr,
+            )
+            failed = True
+        # The dedup-only level must attach on the overlapping mix.  The
+        # rcache levels answer the repeats at admission, so their
+        # residual I/O may legitimately never overlap in flight — they
+        # are gated on result-cache hits instead.
+        if row["sharing"] == "dedup" and row["pages_deduped"] <= 0:
+            print(
+                f"FAIL {label}: overlapping mix deduplicated nothing",
+                file=sys.stderr,
+            )
+            failed = True
+        if (
+            row["sharing"] in ("dedup+rcache", "full")
+            and row["result_cache_hits"] <= 0
+        ):
+            print(
+                f"FAIL {label}: repeat queries never hit the result cache",
+                file=sys.stderr,
+            )
+            failed = True
+    # Sharing must strictly reduce bytes read off the array, and must
+    # never change a single answer byte: every clean level serves the
+    # same output vectors as the clean baseline.
+    by_key = {(r["variant"], r["sharing"]): r for r in sharing}
+    for variant in ("clean", "chaos"):
+        base = by_key.get((variant, "off"))
+        if base is None:
+            continue
+        for level in SHARING_LEVELS:
+            row = by_key.get((variant, level))
+            if row is None or level == "off":
+                continue
+            label = _row_label(row)
+            metric = "bytes_read" if variant == "clean" else "bytes_per_completed"
+            if row[metric] >= base[metric]:
+                print(
+                    f"FAIL {label}: {metric} {row[metric]:g} not "
+                    f"below the off baseline {base[metric]:g}",
+                    file=sys.stderr,
+                )
+                failed = True
+            if (
+                variant == "clean"
+                and row["results_digest"] != base["results_digest"]
+            ):
+                print(
+                    f"FAIL {label}: results digest differs from the off "
+                    "baseline — sharing changed an answer",
+                    file=sys.stderr,
+                )
+                failed = True
+    # Byte-identical replay: rerun the strongest chaos point and compare
+    # the whole row (digest, byte counts, page accounting, tails).
+    recorded = by_key.get(("chaos", "full"))
+    if recorded is not None:
+        image = load_dataset("twitter-sim")
+        rerun = run_sharing_point(
+            image, "full", True, recorded["duration_s"]
+        )
+        if rerun != recorded:
+            diff = sorted(
+                k for k in recorded if rerun.get(k) != recorded[k]
+            )
+            print(
+                "FAIL sharing determinism: same-seed rerun of "
+                f"{_row_label(recorded)} differs in {', '.join(diff)}",
+                file=sys.stderr,
+            )
+            failed = True
+    return failed
 
 
 def _check_overload(rows, base_p99_ms):
@@ -424,16 +660,25 @@ def check(rows, p99_budget_ms):
         if row["variant"] == "clean" and row["aborted"]:
             print(f"FAIL {label}: clean run aborted queries", file=sys.stderr)
             failed = True
-    clean = [r for r in rows if r["variant"] == "clean" and r["mix"] != "overload"]
-    base = min(clean, key=lambda r: r["offered_qps"])
-    if base["p99_ms"] > p99_budget_ms:
-        print(
-            f"FAIL baseline p99 {base['p99_ms']:.3f}ms exceeds the "
-            f"{p99_budget_ms:g}ms budget",
-            file=sys.stderr,
-        )
-        failed = True
-    failed = _check_overload(rows, base["p99_ms"]) or failed
+    # The clean p99 base comes from the sweep mixes only — the overlap
+    # rows run a fixed-QPS shape whose tails answer a different
+    # question (byte savings, not sweep headroom).
+    clean = [
+        r
+        for r in rows
+        if r["variant"] == "clean" and r["mix"] not in ("overload", "overlap")
+    ]
+    if clean:
+        base = min(clean, key=lambda r: r["offered_qps"])
+        if base["p99_ms"] > p99_budget_ms:
+            print(
+                f"FAIL baseline p99 {base['p99_ms']:.3f}ms exceeds the "
+                f"{p99_budget_ms:g}ms budget",
+                file=sys.stderr,
+            )
+            failed = True
+        failed = _check_overload(rows, base["p99_ms"]) or failed
+    failed = _check_sharing(rows) or failed
     print("serving check:", "FAILED" if failed else "ok")
     return 1 if failed else 0
 
@@ -446,6 +691,9 @@ def main() -> int:
                         help="exit non-zero on quota/SLO violations")
     parser.add_argument("--smoke", action="store_true",
                         help="CI subset: one mix, two QPS points, half duration")
+    parser.add_argument("--sharing-smoke", action="store_true",
+                        help="CI subset: only the I/O-sharing overlap rows "
+                        "at half duration")
     parser.add_argument("--p99-budget-ms", type=float, default=25.0,
                         help="--check: p99 budget for the lowest-QPS clean "
                         "run (default 25)")
@@ -455,7 +703,7 @@ def main() -> int:
                         help="also write the raw sweep rows as JSON")
     args = parser.parse_args()
 
-    rows = run_all(smoke=args.smoke)
+    rows = run_all(smoke=args.smoke, sharing_only=args.sharing_smoke)
     print(format_markdown(rows))
     if args.record:
         RESULTS_FILE.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")

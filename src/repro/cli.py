@@ -101,9 +101,12 @@ def _add_serve_arguments(p) -> None:
         help="one tenant, repeatable: name=acme,rate=120[,weight=2]"
         "[,quota=3][,apps=pr+bfs+wcc][,burst=4x0.2][,deadline=0.05]"
         "[,cache-kb=256][,slo-latency=0.02][,slo-target=0.99]"
-        "[,slo-availability=0.95] (rate in queries per simulated "
+        "[,slo-availability=0.95][,share=0][,result-cache=private] "
+        "(rate in queries per simulated "
         "second; burst=FACTORxFRACTION of each 50ms window; "
-        "slo-latency/slo-availability declare burn-rate objectives)",
+        "slo-latency/slo-availability declare burn-rate objectives; "
+        "share= opts a tenant out of --share-reads dedup; "
+        "result-cache= is shared, private or off)",
     )
     p.add_argument(
         "--duration", type=float, default=0.2,
@@ -157,6 +160,34 @@ def _add_serve_arguments(p) -> None:
     p.add_argument(
         "--brownout-pr-iterations", type=int, default=2,
         help="iteration cap for pr queries admitted during brownout "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--share-reads", action="store_true",
+        help="cross-query in-flight read dedup: overlapping dispatches "
+        "attach to outstanding device fetches instead of re-issuing "
+        "them (see docs/io_sharing.md)",
+    )
+    p.add_argument(
+        "--result-cache", action="store_true",
+        help="answer repeat queries (same algorithm, params and graph "
+        "image) from a cached output vector at admission time",
+    )
+    p.add_argument(
+        "--result-cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="result-cache entry lifetime on the simulated clock "
+        "(default: never expires)",
+    )
+    p.add_argument(
+        "--cache-rebalance", action="store_true",
+        help="adaptively move page-cache capacity between tenant "
+        "cache-kb partitions toward the best marginal hit rate "
+        "(needs at least two tenants with cache-kb=)",
+    )
+    p.add_argument(
+        "--cache-rebalance-interval", type=float, default=0.01,
+        metavar="SECONDS",
+        help="rebalance decision interval in simulated seconds "
         "(default: %(default)s)",
     )
     p.add_argument(
@@ -483,6 +514,8 @@ def _parse_tenant(spec: str):
     slo_latency = fields.pop("slo-latency", None)
     slo_target = float(fields.pop("slo-target", 0.99))
     slo_availability = fields.pop("slo-availability", None)
+    share_reads = fields.pop("share", "1") not in ("0", "false", "no")
+    result_cache = fields.pop("result-cache", "shared")
     burst = fields.pop("burst", None)
     if fields:
         raise SystemExit(f"unknown tenant fields: {', '.join(sorted(fields))}")
@@ -509,6 +542,8 @@ def _parse_tenant(spec: str):
             slo_availability=(
                 float(slo_availability) if slo_availability else None
             ),
+            share_reads=share_reads,
+            result_cache=result_cache,
         )
         traffic = TenantTraffic(
             tenant=name,
@@ -547,12 +582,24 @@ def _make_service(args, observer=None, timeline=None):
             "--enforce-deadlines/--brownout need --overload to arm "
             "overload control"
         )
+    if args.cache_rebalance:
+        partitioned = sum(1 for t in tenants if t.cache_bytes is not None)
+        if partitioned < 2:
+            raise SystemExit(
+                "--cache-rebalance needs at least two tenants with "
+                "cache-kb= partitions to move capacity between"
+            )
     config = ServiceConfig(
         cache_bytes=int(args.cache_mb * (1 << 20)),
         num_threads=args.threads,
         policy=args.policy,
         pr_iterations=args.pr_iterations,
         overload=overload,
+        share_reads=args.share_reads,
+        result_cache=args.result_cache,
+        result_cache_ttl_s=args.result_cache_ttl,
+        cache_rebalance=args.cache_rebalance,
+        cache_rebalance_interval_s=args.cache_rebalance_interval,
     )
     service = GraphService(
         image,
@@ -592,6 +639,23 @@ def cmd_serve(args) -> int:
             f"degraded={sum(summary['degraded_jobs'].values())} "
             f"deadline aborts={sum(summary['deadline_aborts'].values())}"
         )
+    if report.sharing is not None:
+        sharing = report.sharing
+        parts = [
+            f"dedup pages={sharing['dedup_pages']:.0f}",
+            f"waits={sharing['dedup_waits']:.0f}",
+        ]
+        if sharing["result_cache"] is not None:
+            rc = sharing["result_cache"]
+            parts.append(
+                f"result-cache hits={rc['hits']}/{rc['hits'] + rc['misses']}"
+            )
+        if sharing["rebalancer"] is not None:
+            rb = sharing["rebalancer"]
+            parts.append(
+                f"rebalance moves={rb['moves']} pages={rb['pages_moved']}"
+            )
+        print(f"io sharing: {' '.join(parts)}")
     header = (
         f"{'tenant':<12} {'jobs':>5} {'aborts':>6} {'shed':>5} {'p50 ms':>9} "
         f"{'p99 ms':>9} {'max wait ms':>12} {'busy ms':>9}"

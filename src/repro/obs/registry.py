@@ -111,6 +111,15 @@ WRITE_HOST_PAGES = "write.host_pages"
 WRITE_FLASH_PAGES_PROGRAMMED = "write.flash_pages_programmed"
 WRITE_SECONDS = "write.seconds"
 
+# --- safs.* (cross-query I/O sharing, see docs/io_sharing.md) -----------
+#: Pages served by attaching to another query's in-flight device fetch
+#: instead of re-issuing it (``InflightReadRegistry``).
+SAFS_DEDUP_PAGES = "safs.dedup_pages"
+#: Attach events (one per deduplicated miss run, however many pages).
+SAFS_DEDUP_WAITS = "safs.dedup_waits"
+#: Residual simulated seconds waiters spent for leaders' fetches to land.
+SAFS_DEDUP_WAIT_SECONDS = "safs.dedup_wait_seconds"
+
 # --- serve.* (the multi-tenant service layer) ---------------------------
 SERVE_JOBS_ADMITTED = "serve.jobs_admitted"
 SERVE_JOBS_COMPLETED = "serve.jobs_completed"
@@ -124,6 +133,19 @@ SERVE_DEADLINE_ABORTS_TOTAL = "serve.deadline_aborts_total"
 SERVE_BROWNOUT_TRANSITIONS = "serve.brownout_transitions"
 SERVE_BROWNOUT_SECONDS = "serve.brownout_seconds"
 SERVE_OVERLOAD_PEAK_QUEUE_DEPTH = "serve.overload_peak_queue_depth"
+#: Result cache (see docs/io_sharing.md): repeat queries answered from a
+#: cached output vector at admission time, misses that ran the engine,
+#: outputs inserted, and entries dropped by TTL expiry or invalidation.
+SERVE_RESULT_CACHE_HITS_TOTAL = "serve.result_cache_hits_total"
+SERVE_RESULT_CACHE_MISSES_TOTAL = "serve.result_cache_misses_total"
+SERVE_RESULT_CACHE_INSERTIONS_TOTAL = "serve.result_cache_insertions_total"
+SERVE_RESULT_CACHE_EXPIRATIONS_TOTAL = "serve.result_cache_expirations_total"
+#: Adaptive tenant cache sizing: rebalance decisions that moved capacity,
+#: cache pages transferred between partitions, and pages evicted from
+#: donors while shrinking.
+SERVE_CACHE_REBALANCES = "serve.cache_rebalances"
+SERVE_CACHE_PAGES_MOVED = "serve.cache_pages_moved"
+SERVE_CACHE_REBALANCE_EVICTIONS = "serve.cache_rebalance_evictions"
 
 #: Every counter name the stack may legitimately touch.
 KNOWN_COUNTERS = frozenset(
@@ -148,6 +170,8 @@ SERVE_TENANT_QUOTA_WAITS = "serve.tenant_quota_waits"
 SERVE_SHED = "serve.shed"
 SERVE_DEADLINE_ABORTS = "serve.deadline_aborts"
 SERVE_BROWNOUT_DEGRADED = "serve.brownout_degraded"
+#: Result-cache hits per tenant (``serve.result_cache_hits.<tenant>``).
+SERVE_RESULT_CACHE_HITS = "serve.result_cache_hits"
 
 KNOWN_COUNTER_FAMILIES = frozenset(
     {
@@ -158,6 +182,7 @@ KNOWN_COUNTER_FAMILIES = frozenset(
         SERVE_SHED,
         SERVE_DEADLINE_ABORTS,
         SERVE_BROWNOUT_DEGRADED,
+        SERVE_RESULT_CACHE_HITS,
     }
 )
 
@@ -250,6 +275,13 @@ GAUGE_SERVE_WINDOW_P99 = "serve.window_latency_p99_s"
 GAUGE_SERVE_QUEUE_DEPTH = "serve.queue_depth"
 GAUGE_SERVE_QUOTA_OCCUPANCY = "serve.quota_occupancy"
 
+#: Per-tenant cache-partition families (``<family>.<tenant>``), sampled
+#: at timeline windows and by the cache rebalancer after each decision:
+#: the tenant's share of total partitioned cache capacity and its
+#: partition-level cumulative hit rate (see docs/io_sharing.md).
+GAUGE_SERVE_CACHE_SHARE = "serve.cache_share"
+GAUGE_SERVE_CACHE_HIT_RATE = "serve.cache_hit_rate"
+
 KNOWN_GAUGE_FAMILIES = frozenset(
     {
         GAUGE_CACHE_SET_HIT_RATE,
@@ -258,6 +290,8 @@ KNOWN_GAUGE_FAMILIES = frozenset(
         GAUGE_SERVE_WINDOW_P99,
         GAUGE_SERVE_QUEUE_DEPTH,
         GAUGE_SERVE_QUOTA_OCCUPANCY,
+        GAUGE_SERVE_CACHE_SHARE,
+        GAUGE_SERVE_CACHE_HIT_RATE,
     }
 )
 

@@ -12,8 +12,8 @@ Armed, the stack reports three kinds of spans:
   list or attribute read), linked to the merged I/O span that carried it;
 - **io spans** — one per merged request dispatched through SAFS, with
   stage events accumulated as the request flows (``cache_lookup``,
-  ``retried``, ``rerouted``, ``reconstructed``, ``timeout``, ``corrupt``,
-  ``quarantined``, ``dead``, ``transient``);
+  ``dedup``, ``retried``, ``rerouted``, ``reconstructed``, ``timeout``,
+  ``corrupt``, ``quarantined``, ``dead``, ``transient``);
 - **device spans** — one per device attempt, carrying exact queue wait
   and service time; per device, service durations tile the device's
   accumulated busy time.

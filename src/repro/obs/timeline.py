@@ -174,6 +174,15 @@ class TimelineSampler:
             level = 0.0
         unhealthy = service._unhealthy_fraction(end)
         stats = service.stats
+        # Partition-level cache gauges: each partitioned tenant's share
+        # of the total partitioned capacity (which the serve-layer
+        # rebalancer moves mid-run) and its own cumulative hit rate —
+        # the per-instance tallies, not the shared counters, which
+        # aggregate every cache on the collector.
+        partitions = getattr(service, "cache_partitions", None) or {}
+        total_pages = sum(
+            cache.set_capacity_pages for cache in partitions.values()
+        )
         stats.sample(registry.GAUGE_SERVE_BROWNOUT_STATE, end, level)
         stats.sample(registry.GAUGE_SERVE_UNHEALTHY_FRACTION, end, unhealthy)
         stats.sample(
@@ -226,6 +235,20 @@ class TimelineSampler:
                 end,
                 occupancy,
             )
+            partition = partitions.get(name)
+            if partition is not None:
+                stats.sample(
+                    f"{registry.GAUGE_SERVE_CACHE_SHARE}.{name}",
+                    end,
+                    partition.set_capacity_pages / total_pages
+                    if total_pages
+                    else 0.0,
+                )
+                stats.sample(
+                    f"{registry.GAUGE_SERVE_CACHE_HIT_RATE}.{name}",
+                    end,
+                    partition.hit_rate(),
+                )
         self._window += 1
         self.next_boundary_s = (self._window + 1) * interval
         self._reset_window()

@@ -10,7 +10,7 @@ file image, mirroring the user-task interface running computation directly
 against cached pages.
 """
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +23,76 @@ from repro.sim.cost_model import CostModel
 from repro.sim.faults import DEFAULT_FAULT_POLICY, FaultPolicy, UnrecoverableIOError
 from repro.sim.ssd_array import SSDArray
 from repro.sim.stats import StatsCollector
+
+
+class InflightReadRegistry:
+    """Cross-query in-flight read deduplication (docs/io_sharing.md).
+
+    Records every device fetch the scheduler issues as ``(file_id,
+    flash_first, flash_count) -> completion_time``.  When a later
+    dispatch — typically another tenant's job, whose cache partition
+    missed on pages a concurrent job is already fetching — requests the
+    same extent while the original fetch is still outstanding on the
+    simulated clock, :meth:`attach` returns the leader's completion
+    time: the follower waits out the residual (``max(arrival, original
+    completion)``) instead of re-issuing the device request.
+
+    Failure semantics: only *successful* fetches are recorded.  A leader
+    whose fetch raises :class:`UnrecoverableIOError` never registers the
+    extent, so the next requester re-issues the read and drives the full
+    retry/reroute path itself — waiters are woken into the retry path,
+    never left hanging on a fetch that will not land.  (Recoverable
+    faults are invisible here: retries, timeouts and rerouting are
+    folded into the leader's completion time, which is exactly what the
+    waiter is charged.)
+
+    Purely simulated-clock state: the registry never touches the stats
+    collector, so an attached-but-unused registry leaves every counter
+    stream bit-identical.
+    """
+
+    def __init__(self) -> None:
+        #: (file_id, flash_first, flash_count) -> completion time of the
+        #: fetch currently in flight for that extent.
+        self._inflight: Dict[Tuple[int, int, int], float] = {}
+        #: Cumulative attach events (one per deduplicated miss run).
+        self.attached = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def attach(
+        self, file_id: int, flash_first: int, flash_count: int, issue_time: float
+    ) -> Optional[float]:
+        """Join the in-flight fetch of this exact extent, if any.
+
+        Returns the leader's completion time when the extent is still
+        outstanding at ``issue_time`` (the caller completes at
+        ``max(issue_time, completion)``), else ``None``.  An entry whose
+        fetch already landed is expired on probe: the data went into the
+        *leader's* cache, so a later requester must consult its own
+        cache and, on a miss, issue its own read.
+        """
+        key = (file_id, flash_first, flash_count)
+        completion = self._inflight.get(key)
+        if completion is None:
+            return None
+        if issue_time >= completion:
+            del self._inflight[key]
+            return None
+        self.attached += 1
+        return completion
+
+    def record(
+        self,
+        file_id: int,
+        flash_first: int,
+        flash_count: int,
+        completion: float,
+    ) -> None:
+        """Register a successfully issued fetch (callers must *not*
+        record fetches that raised — see the class docstring)."""
+        self._inflight[(file_id, flash_first, flash_count)] = completion
 
 
 class IOScheduler:
@@ -64,6 +134,11 @@ class IOScheduler:
         #: cache; everyone else keeps the shared cache, so batch runs
         #: are untouched.
         self.tenant_caches: Optional[dict] = None
+        #: In-flight read dedup registry (cross-query I/O sharing); the
+        #: serve layer points this at a shared registry around each
+        #: sharing tenant's job step.  ``None`` = no dedup, the exact
+        #: legacy fetch path.
+        self.inflight: Optional[InflightReadRegistry] = None
         self._flash_per_page = flash_pages_per_safs_page(page_size)
         # Per-page checksums, engaged only when the stack can need them
         # (a fault plan injecting rot, or parity reconstruction): a bare
@@ -290,6 +365,46 @@ class IOScheduler:
                 )
                 obs.recovery_wait(submit_at - detection)
 
+    def _fetch_or_attach(
+        self,
+        file_id: int,
+        issue_time: float,
+        flash_first: int,
+        flash_count: int,
+        pages: int,
+    ) -> Tuple[float, bool]:
+        """One miss run: attach to an in-flight fetch of the same extent
+        or issue the device read, returning ``(completion, deduped)``.
+
+        Attached runs complete at ``max(issue_time, leader completion)``
+        and are counted under ``safs.dedup_*``; issued runs are recorded
+        in the registry so later overlapping dispatches can attach.  A
+        fetch that raises is never recorded (the registry's failure
+        contract).
+        """
+        inflight = self.inflight
+        if inflight is not None:
+            leader_done = inflight.attach(
+                file_id, flash_first, flash_count, issue_time
+            )
+            if leader_done is not None:
+                self.stats.add(reg.SAFS_DEDUP_PAGES, pages)
+                self.stats.add(reg.SAFS_DEDUP_WAITS)
+                self.stats.add(
+                    reg.SAFS_DEDUP_WAIT_SECONDS, leader_done - issue_time
+                )
+                if self.obs is not None:
+                    self.obs.io_event(
+                        "dedup", leader_done,
+                        pages=pages,
+                        wait=leader_done - issue_time,
+                    )
+                return leader_done, True
+        done = self._fetch_extent(issue_time, flash_first, flash_count)
+        if inflight is not None:
+            inflight.record(file_id, flash_first, flash_count, done)
+        return done, False
+
     def _verified_page(self, file: SAFSFile, page_no: int):
         """One page's bytes, checked against its checksum when engaged."""
         data = file.read_page(page_no, self.page_size)
@@ -336,6 +451,7 @@ class IOScheduler:
         cpu_cost = cm.cpu_per_io_request
         completion = issue_time
         pages_fetched = 0
+        pages_deduped = 0
 
         # Walk the span, grouping consecutive misses into device runs.
         run_start: Optional[int] = None
@@ -358,16 +474,26 @@ class IOScheduler:
             )
 
         inserted: List[Tuple[int, int]] = []
+        hits = merged.num_pages - sum(length for _, length in spans)
         for start, length in spans:
             flash_first, flash_count = self._flash_extent(merged.file, start, length)
             try:
-                done = self._fetch_extent(issue_time, flash_first, flash_count)
+                done, deduped = self._fetch_or_attach(
+                    merged.file.file_id, issue_time,
+                    flash_first, flash_count, length,
+                )
             except UnrecoverableIOError:
                 self._rollback_inserted(cache, inserted)
+                self._count_aborted_dispatch(
+                    hits, pages_fetched, pages_deduped
+                )
                 raise
             if done > completion:
                 completion = done
-            pages_fetched += length
+            if deduped:
+                pages_deduped += length
+            else:
+                pages_fetched += length
             for page_no in range(start, start + length):
                 data = merged.file.read_page(page_no, self.page_size)
                 if self.integrity is not None:
@@ -375,7 +501,15 @@ class IOScheduler:
                 cache.insert(Page(merged.file.file_id, page_no, data))
                 inserted.append((merged.file.file_id, page_no))
 
-        cpu_cost += pages_fetched * self._flash_per_page * cm.cpu_per_page_transfer
+        # Deduped pages skip the device but still cross the kernel into
+        # this dispatch's cache, so they pay the same transfer CPU; with
+        # dedup off the expression reduces bit-identically to the legacy
+        # ``pages_fetched * flash_per_page * transfer``.
+        cpu_cost += (
+            (pages_fetched + pages_deduped)
+            * self._flash_per_page
+            * cm.cpu_per_page_transfer
+        )
         full_hit = not spans
         self._count_dispatch(merged.num_pages, pages_fetched, full_hit)
         return completion, cpu_cost, full_hit
@@ -397,6 +531,7 @@ class IOScheduler:
         cache = self._current_cache()
         completion = issue_time
         pages_fetched = 0
+        pages_deduped = 0
         num_pages = last_page - first_page + 1
         cpu_cost = self._issue_cost(num_pages)
 
@@ -425,26 +560,54 @@ class IOScheduler:
             )
 
         inserted: List[Tuple[int, int]] = []
+        hits = num_pages - sum(length for _, length in runs)
         for start, length in runs:
             flash_first, flash_count = self._flash_extent(file, start, length)
             try:
-                done = self._fetch_extent(issue_time, flash_first, flash_count)
+                done, deduped = self._fetch_or_attach(
+                    file.file_id, issue_time, flash_first, flash_count, length
+                )
             except UnrecoverableIOError:
                 self._rollback_inserted(cache, inserted)
+                self._count_aborted_dispatch(
+                    hits, pages_fetched, pages_deduped
+                )
                 raise
             if done > completion:
                 completion = done
-            pages_fetched += length
+            if deduped:
+                pages_deduped += length
+            else:
+                pages_fetched += length
             cache.insert_range(
                 Page(file.file_id, page_no, self._verified_page(file, page_no))
                 for page_no in range(start, start + length)
             )
             inserted.extend((file.file_id, page_no) for page_no in range(start, start + length))
 
-        cpu_cost += pages_fetched * self._flash_per_page * cm.cpu_per_page_transfer
+        cpu_cost += (
+            (pages_fetched + pages_deduped)
+            * self._flash_per_page
+            * cm.cpu_per_page_transfer
+        )
         full_hit = not runs
         self._count_dispatch(num_pages, pages_fetched, full_hit)
         return completion, cpu_cost, full_hit
+
+    def _count_aborted_dispatch(
+        self, hits: int, pages_fetched: int, pages_deduped: int
+    ) -> None:
+        """Partial accounting for a dispatch killed by an unrecoverable
+        fault: only the pages it actually *serviced* before dying (its
+        cache hits — already tallied by the lookup walk — plus completed
+        fetch/attach runs) count as requested, which keeps the page
+        conservation law ``io.pages_requested == cache.hits +
+        io.pages_fetched + safs.dedup_pages`` exact even when spans
+        abort mid-walk.  The failing run itself lands in no counter, and
+        the dispatch stays out of ``io.dispatched`` / the size histogram
+        (those count issued requests, not service outcomes)."""
+        self.stats.add(reg.IO_PAGES_REQUESTED, hits + pages_fetched + pages_deduped)
+        self.stats.add(reg.IO_PAGES_FETCHED, pages_fetched)
 
     def _count_dispatch(self, pages: int, pages_fetched: int, full_hit: bool) -> None:
         # Request-size histogram: §3.6 — issued requests range from one

@@ -86,6 +86,24 @@ class PageCache:
                 f"pick from {EVICTION_POLICIES}"
             )
         self.stats = stats if stats is not None else StatsCollector()
+        # Per-instance lookup/hit tallies.  The shared stats counters
+        # aggregate across every cache on the collector (the flat cache
+        # plus all tenant partitions), so ``hit_rate`` must not read
+        # them: these plain ints keep the rate partition-local without
+        # touching the bit-identical counter stream.
+        self.lookups = 0
+        self.hits = 0
+        # Per-set capacity is instance state (not config) so the serve
+        # layer's rebalancer can move capacity between partitions; it
+        # starts at the configured geometry.
+        self._set_cap = self.config.set_capacity
+        # Ghost LRU (opt-in via enable_ghost_tracking): recently evicted
+        # keys, recency-ordered.  A miss that hits the ghost list would
+        # have been a hit with more capacity — the marginal-benefit
+        # signal the rebalancer sizes partitions by.
+        self._ghost: Optional["OrderedDict[PageKey, None]"] = None
+        self._ghost_cap = 0
+        self.ghost_hits = 0
         self._sets: Dict[int, "OrderedDict[PageKey, Page]"] = {}
         # All resident keys, mirrored across sets: bulk lookups answer the
         # (dominant) miss case with one set-membership test instead of a
@@ -129,6 +147,72 @@ class PageCache:
         rates = self._set_hits[probed] / self._set_lookups[probed]
         return {int(i): float(r) for i, r in zip(probed, rates)}
 
+    def enable_ghost_tracking(self, capacity_pages: Optional[int] = None) -> None:
+        """Start remembering evicted keys in a ghost LRU list.
+
+        ``capacity_pages`` bounds the list (default: the cache's own
+        configured capacity — "would doubling help?").  Idempotent;
+        :attr:`ghost_hits` counts misses whose key was on the list, the
+        shadow signal the serve-layer rebalancer reads.  Purely local
+        state: never touches the shared stats.
+        """
+        if self._ghost is None:
+            self._ghost = OrderedDict()
+            self._ghost_cap = max(
+                1,
+                self.config.capacity_pages
+                if capacity_pages is None
+                else capacity_pages,
+            )
+
+    def _ghost_probe(self, key: PageKey) -> None:
+        """Count (and retire) a ghost hit for a missed ``key``."""
+        ghost = self._ghost
+        if ghost is not None and key in ghost:
+            del ghost[key]
+            self.ghost_hits += 1
+
+    def _ghost_remember(self, key: PageKey) -> None:
+        ghost = self._ghost
+        if ghost is None:
+            return
+        ghost[key] = None
+        ghost.move_to_end(key)
+        if len(ghost) > self._ghost_cap:
+            ghost.popitem(last=False)
+
+    @property
+    def set_capacity_pages(self) -> int:
+        """Current total capacity: per-set capacity × number of sets
+        (diverges from the configured geometry after rebalancing)."""
+        return self._set_cap * self.config.num_sets
+
+    def resize_set_capacity(self, set_capacity: int) -> int:
+        """Grow or shrink every set to hold ``set_capacity`` pages.
+
+        Shrinking evicts overflow pages per set (via the configured
+        policy, remembered in the ghost list when tracking is on)
+        without touching the shared stats — capacity reassignment is a
+        policy action, not workload traffic.  Returns the number of
+        pages evicted (0 on grow).
+        """
+        if set_capacity < 1:
+            raise ValueError("set_capacity must be at least 1")
+        evicted_count = 0
+        if set_capacity < self._set_cap:
+            for index in sorted(self._sets):
+                cache_set = self._sets[index]
+                while len(cache_set) > set_capacity:
+                    if self.config.eviction == "lru":
+                        evicted, _ = cache_set.popitem(last=False)
+                    else:
+                        evicted = self._gclock_evict(index, cache_set)
+                    self._resident.discard(evicted)
+                    self._ghost_remember(evicted)
+                    evicted_count += 1
+        self._set_cap = set_capacity
+        return evicted_count
+
     def _set_index(self, key: PageKey) -> int:
         # A multiplicative hash keeps adjacent pages in different sets so a
         # sequential scan does not thrash a single slot.
@@ -142,11 +226,14 @@ class PageCache:
         Counts one hit or one miss in the shared stats either way.
         """
         key = (file_id, page_no)
+        self.lookups += 1
         if key not in self._resident:
             if self._set_lookups is not None:
                 self._set_lookups[self._set_index(key)] += 1
+            self._ghost_probe(key)
             self.stats.add(reg.CACHE_MISSES)
             return None
+        self.hits += 1
         index = self._set_index(key)
         if self._set_lookups is not None:
             self._set_lookups[index] += 1
@@ -186,8 +273,13 @@ class PageCache:
                     self._sets[index].move_to_end(key)
                 else:
                     self._ref_bits[index][key] = True
-            elif tracking:
-                self._set_lookups[self._set_index(key)] += 1
+            else:
+                if tracking:
+                    self._set_lookups[self._set_index(key)] += 1
+                if self._ghost is not None:
+                    self._ghost_probe(key)
+        self.lookups += n
+        self.hits += hits
         if hits:
             self.stats.add(reg.CACHE_HITS, hits)
         if n - hits:
@@ -255,12 +347,13 @@ class PageCache:
             cache_set[key] = page
             return None, False
         evicted: Optional[PageKey] = None
-        if len(cache_set) >= self.config.set_capacity:
+        if len(cache_set) >= self._set_cap:
             if self.config.eviction == "lru":
                 evicted, _ = cache_set.popitem(last=False)
             else:
                 evicted = self._gclock_evict(index, cache_set)
             self._resident.discard(evicted)
+            self._ghost_remember(evicted)
             if count_stats:
                 self.stats.add(reg.CACHE_EVICTIONS)
         cache_set[key] = page
@@ -330,12 +423,13 @@ class PageCache:
         return len(self._resident)
 
     def hit_rate(self) -> float:
-        """Hits over lookups so far, 0.0 before any lookup."""
-        hits = self.stats.get(reg.CACHE_HITS)
-        total = hits + self.stats.get(reg.CACHE_MISSES)
-        if total == 0:
+        """*This* cache's hits over lookups so far, 0.0 before any
+        lookup.  Tallied per instance, not from the shared stats — under
+        tenant partitions several caches share one collector, and the
+        aggregate counters would misreport every partition's rate."""
+        if self.lookups == 0:
             return 0.0
-        return hits / total
+        return self.hits / self.lookups
 
     def export_state(self) -> Dict:
         """Placement and recency state for checkpointing.
@@ -410,5 +504,5 @@ class PageCache:
         cfg = self.config
         return (
             f"PageCache(pages={len(self)}/{cfg.capacity_pages}, "
-            f"sets={cfg.num_sets}x{cfg.set_capacity})"
+            f"sets={cfg.num_sets}x{self._set_cap})"
         )

@@ -14,6 +14,10 @@ concurrency SAFS's asynchronous user-task interface was designed for
 - :mod:`repro.serve.overload` — overload control: bounded admission
   queues with deterministic shedding, deadline enforcement, and the
   brownout state machine (see ``docs/overload.md``),
+- :mod:`repro.serve.results` — the cross-query result cache answering
+  repeat queries at admission time (see ``docs/io_sharing.md``),
+- :mod:`repro.serve.cache_sizing` — the ghost-LRU driven rebalancer
+  adaptively sizing tenant cache partitions,
 - :mod:`repro.serve.service` — :class:`GraphService`, the event loop
   interleaving jobs by smallest virtual clock under fair-share, FIFO or
   deadline (EDF) scheduling.
@@ -22,6 +26,7 @@ See ``docs/serving.md`` for the architecture.
 """
 
 from repro.serve.admission import AdmissionController, QuotaExceeded
+from repro.serve.cache_sizing import CacheRebalanceConfig, CacheRebalancer
 from repro.serve.overload import (
     OverloadConfig,
     OverloadController,
@@ -29,6 +34,12 @@ from repro.serve.overload import (
     ShedRecord,
 )
 from repro.serve.queries import Query, QueryFactory
+from repro.serve.results import (
+    CachedResult,
+    ResultCache,
+    ResultCacheConfig,
+    image_digest,
+)
 from repro.serve.service import (
     GraphService,
     ServeTelemetry,
@@ -42,6 +53,9 @@ from repro.serve.traffic import Arrival, TenantTraffic, generate_trace
 __all__ = [
     "AdmissionController",
     "Arrival",
+    "CacheRebalanceConfig",
+    "CacheRebalancer",
+    "CachedResult",
     "GraphService",
     "OverloadConfig",
     "OverloadController",
@@ -49,6 +63,8 @@ __all__ = [
     "Query",
     "QueryFactory",
     "QuotaExceeded",
+    "ResultCache",
+    "ResultCacheConfig",
     "ServeTelemetry",
     "ServiceConfig",
     "ServiceReport",
@@ -58,4 +74,5 @@ __all__ = [
     "TenantSpec",
     "TenantTraffic",
     "generate_trace",
+    "image_digest",
 ]

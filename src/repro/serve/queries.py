@@ -22,6 +22,7 @@ from repro.algorithms.pagerank import (
 from repro.algorithms.wcc import WCCProgram
 from repro.core.vertex_program import VertexProgram
 from repro.graph.builder import GraphImage
+from repro.serve.results import image_digest
 
 
 @dataclass
@@ -74,9 +75,54 @@ class QueryFactory:
         }
         if undirected_image is not None:
             self._builders["kcore"] = self._kcore
+        self._image_digests: Dict[int, str] = {}
 
     def supported_apps(self) -> Tuple[str, ...]:
         return tuple(self._builders)
+
+    def _digest(self, image: GraphImage) -> str:
+        key = id(image)
+        digest = self._image_digests.get(key)
+        if digest is None:
+            digest = image_digest(image)
+            self._image_digests[key] = digest
+        return digest
+
+    def fingerprint(
+        self,
+        app: str,
+        pr_iterations: Optional[int] = None,
+        pr_tolerance_factor: float = 1.0,
+    ) -> str:
+        """The canonical identity of the query :meth:`build` would make.
+
+        Two arrivals with equal fingerprints produce byte-identical
+        output vectors, which is what lets the result cache answer the
+        second one without running it: the fingerprint folds in the
+        algorithm, its *effective* parameters (the post-brownout
+        iteration cap and tolerance for PageRank, the source for BFS,
+        ``k`` for k-core), and the digest plus storage format of the
+        graph image the app runs against — so a degraded build, a
+        different source, or a rebuilt image never aliases.
+        """
+        if app not in self._builders:
+            raise ValueError(
+                f"unsupported app {app!r} (supported: "
+                f"{', '.join(self._builders)})"
+            )
+        image = self.undirected_image if app == "kcore" else self.image
+        parts = [app, f"fmt={image.fmt}", f"image={self._digest(image)}"]
+        if app in ("pr", "pr30"):
+            full = self.pr_iterations if app == "pr" else DEFAULT_MAX_ITERATIONS
+            capped = full if pr_iterations is None else min(full, pr_iterations)
+            tolerance = DEFAULT_TOLERANCE * pr_tolerance_factor
+            parts.append(f"iters={capped}")
+            parts.append(f"tol={tolerance!r}")
+        elif app == "bfs":
+            parts.append(f"source={self.source}")
+        elif app == "kcore":
+            parts.append(f"k={self.kcore_k}")
+        return "|".join(parts)
 
     def build(
         self,

@@ -30,6 +30,8 @@ bit-identity guarantees above are untouched.
 
 import math
 from collections import deque
+
+import numpy as np
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -39,11 +41,18 @@ from repro.graph.builder import GraphImage
 from repro.obs import registry as reg
 from repro.obs.slo import SLOConfig, SLOTracker
 from repro.safs.filesystem import SAFS, SAFSConfig
+from repro.safs.io_scheduler import InflightReadRegistry
 from repro.safs.page import SAFSFile
 from repro.safs.page_cache import PageCache, PageCacheConfig
 from repro.serve.admission import AdmissionController
+from repro.serve.cache_sizing import CacheRebalanceConfig, CacheRebalancer
 from repro.serve.overload import OverloadConfig, OverloadController, ShedRecord
 from repro.serve.queries import Query, QueryFactory
+from repro.serve.results import (
+    RESULT_SCOPE_SHARED,
+    ResultCache,
+    ResultCacheConfig,
+)
 from repro.serve.tenants import TenantAccountant, TenantSpec
 from repro.serve.traffic import Arrival
 from repro.sim.cost_model import CostModel
@@ -76,6 +85,28 @@ class ServiceConfig:
     #: Overload control (bounded queues, shedding, deadline enforcement,
     #: brownout); ``None`` keeps the exact pre-overload event loop.
     overload: Optional[OverloadConfig] = None
+    #: Cross-query I/O sharing (see docs/io_sharing.md).  All three
+    #: default off, which keeps the exact legacy event loop and the
+    #: single-tenant batch bit-identity contract.
+    #: In-flight read dedup: overlapping dispatches from sharing tenants
+    #: attach to outstanding device fetches instead of re-issuing them.
+    share_reads: bool = False
+    #: Result caching: repeat queries (same canonical fingerprint) are
+    #: answered from a completed query's output at admission time.
+    result_cache: bool = False
+    #: Result-cache entry lifetime on the simulated clock; ``None``
+    #: never expires.
+    result_cache_ttl_s: Optional[float] = None
+    #: Simulated cost a result-cache hit charges the tenant.
+    result_cache_cost_s: float = 5e-5
+    #: Adaptive tenant cache sizing: periodically move set capacity
+    #: between tenant cache partitions toward the best marginal hit
+    #: rate (requires at least two tenants with ``cache_bytes``).
+    cache_rebalance: bool = False
+    #: Rebalance decision interval (simulated seconds).
+    cache_rebalance_interval_s: float = 0.01
+    #: Per-partition capacity floor, as a fraction of initial capacity.
+    cache_rebalance_floor: float = 0.5
 
     def __post_init__(self) -> None:
         if self.policy not in SCHEDULING_POLICIES:
@@ -89,6 +120,14 @@ class ServiceConfig:
             raise ValueError("pr_iterations must be at least 1")
         if self.kcore_k < 1:
             raise ValueError("kcore_k must be at least 1")
+        if self.result_cache_ttl_s is not None and self.result_cache_ttl_s <= 0.0:
+            raise ValueError("result_cache_ttl_s must be positive")
+        if self.result_cache_cost_s < 0.0:
+            raise ValueError("result_cache_cost_s must be non-negative")
+        if self.cache_rebalance_interval_s <= 0.0:
+            raise ValueError("cache_rebalance_interval_s must be positive")
+        if not 0.0 < self.cache_rebalance_floor <= 1.0:
+            raise ValueError("cache_rebalance_floor must lie in (0, 1]")
 
 
 @dataclass
@@ -111,6 +150,17 @@ class JobRecord:
     #: Trace-global query id (``Arrival.index``) — the join key between
     #: this record and every span the query produced (``query_path``).
     index: int = -1
+    #: Simulated bytes this query read from the SSD array — per-step
+    #: attribution (deltas around each of the job's own barriers), so
+    #: concurrent jobs never bleed into each other's totals.
+    bytes_read: float = 0.0
+    #: Pages / attach events this query served by joining another
+    #: query's in-flight fetch (``safs.dedup_*``, same attribution).
+    dedup_pages: float = 0.0
+    dedup_waits: float = 0.0
+    #: Whether the query was answered from the result cache (it never
+    #: ran an engine; ``result`` is a synthesized near-zero-cost stub).
+    result_cached: bool = False
 
     @property
     def latency(self) -> float:
@@ -160,6 +210,8 @@ class TenantReport:
     shed: int = 0
     deadline_aborts: int = 0
     degraded: int = 0
+    #: Queries answered from the result cache (a subset of ``jobs``).
+    result_cache_hits: int = 0
     latencies: List[float] = field(default_factory=list)
     queue_waits: List[float] = field(default_factory=list)
 
@@ -175,6 +227,7 @@ class TenantReport:
             "shed": self.shed,
             "deadline_aborts": self.deadline_aborts,
             "degraded": self.degraded,
+            "result_cache_hits": self.result_cache_hits,
             "latency_p50_s": self.latency_quantile(0.50),
             "latency_p95_s": self.latency_quantile(0.95),
             "latency_p99_s": self.latency_quantile(0.99),
@@ -209,6 +262,10 @@ class ServiceReport:
     #: the overload events above; ``None`` when no tenant declares
     #: objectives (see ``repro.obs.slo``).
     slo: Optional[dict] = None
+    #: Cross-query I/O sharing outcome — dedup totals plus the result
+    #: cache's and rebalancer's summaries; ``None`` when every sharing
+    #: feature was off (see docs/io_sharing.md).
+    sharing: Optional[dict] = None
 
     @property
     def shed(self) -> int:
@@ -240,6 +297,7 @@ class ServiceReport:
             },
             "overload": self.overload,
             "slo": self.slo,
+            "sharing": self.sharing,
         }
 
 
@@ -259,6 +317,15 @@ class _Running:
     aborted: Optional[IterationAborted] = None
     degraded: bool = False
     deadline_aborted: bool = False
+    #: Result-cache deposit key for this query's output (``None`` when
+    #: the cache is off or the tenant opted out).
+    fingerprint: Optional[str] = None
+    scope_key: str = RESULT_SCOPE_SHARED
+    #: Per-step counter-delta accumulators (see ``_step``): this job's
+    #: own array bytes and dedup activity, exact under concurrency.
+    bytes_read: float = 0.0
+    dedup_pages: float = 0.0
+    dedup_waits: float = 0.0
 
 
 @dataclass
@@ -281,6 +348,9 @@ class ServeTelemetry:
     waiting: List["_Waiting"] = field(default_factory=list)
     #: Admitted, unfinished jobs.
     running: List["_Running"] = field(default_factory=list)
+    #: Finished-query records in finish order (result-cache answers are
+    #: appended here directly, without ever entering ``running``).
+    records: List[JobRecord] = field(default_factory=list)
     completed: int = 0
     aborted: int = 0
     deadline_aborted: int = 0
@@ -392,6 +462,36 @@ class GraphService:
                 )
         if self.cache_partitions:
             self.safs.scheduler.tenant_caches = self.cache_partitions
+        # Cross-query I/O sharing (docs/io_sharing.md); every handle is
+        # None when its feature is off, keeping the legacy event loop.
+        self.inflight: Optional[InflightReadRegistry] = (
+            InflightReadRegistry() if self.config.share_reads else None
+        )
+        self.result_cache: Optional[ResultCache] = (
+            ResultCache(
+                ResultCacheConfig(
+                    ttl_s=self.config.result_cache_ttl_s,
+                    hit_cost_s=self.config.result_cache_cost_s,
+                )
+            )
+            if self.config.result_cache
+            else None
+        )
+        self.rebalancer: Optional[CacheRebalancer] = None
+        if self.config.cache_rebalance:
+            if len(self.cache_partitions) < 2:
+                raise ValueError(
+                    "cache_rebalance needs at least two tenants with "
+                    "cache_bytes partitions to move capacity between"
+                )
+            self.rebalancer = CacheRebalancer(
+                self.cache_partitions,
+                CacheRebalanceConfig(
+                    interval_s=self.config.cache_rebalance_interval_s,
+                    floor_fraction=self.config.cache_rebalance_floor,
+                ),
+                stats=self.stats,
+            )
 
     # ------------------------------------------------------------------
     # The event loop
@@ -415,12 +515,13 @@ class GraphService:
         waiting = telemetry.waiting
         running = telemetry.running
         reports = telemetry.reports
-        records: List[JobRecord] = []
+        records = telemetry.records
         sheds: List[ShedRecord] = []
         free_at: Dict[str, float] = {name: 0.0 for name in self.tenants}
         overload = self.overload
         observer = self.observer
         timeline = self.timeline
+        rebalancer = self.rebalancer
 
         while pending or waiting or running:
             if running:
@@ -456,6 +557,14 @@ class GraphService:
                 and math.isfinite(frontier)
             ):
                 timeline.note_time(frontier)
+            # Same hot-loop discipline for the cache rebalancer: one
+            # float compare per pass, a decision only at its boundary.
+            if (
+                rebalancer is not None
+                and frontier >= rebalancer.next_boundary_s
+                and math.isfinite(frontier)
+            ):
+                rebalancer.note_time(frontier)
             self._admit(waiting, running, free_at, frontier, sheds)
             if not running:
                 continue
@@ -509,7 +618,39 @@ class GraphService:
             deadline_aborts=telemetry.deadline_aborted,
             overload=summary,
             slo=self.slo.summary() if self.slo is not None else None,
+            sharing=self._sharing_summary(),
         )
+
+    def _sharing_summary(self) -> Optional[dict]:
+        """The cross-query sharing outcome, ``None`` when all off.
+
+        Reads the (already flushed) dedup counters and the result
+        cache's / rebalancer's local tallies; pure reads, so the
+        bit-identical counter snapshot is untouched.
+        """
+        if (
+            self.inflight is None
+            and self.result_cache is None
+            and self.rebalancer is None
+        ):
+            return None
+        stats = self.stats
+        return {
+            "share_reads": self.inflight is not None,
+            "dedup_pages": stats.get(reg.SAFS_DEDUP_PAGES),
+            "dedup_waits": stats.get(reg.SAFS_DEDUP_WAITS),
+            "dedup_wait_seconds": stats.get(reg.SAFS_DEDUP_WAIT_SECONDS),
+            "result_cache": (
+                self.result_cache.summary()
+                if self.result_cache is not None
+                else None
+            ),
+            "rebalancer": (
+                self.rebalancer.summary()
+                if self.rebalancer is not None
+                else None
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Overload control (every hook below requires self.overload)
@@ -748,21 +889,43 @@ class GraphService:
             start = arrival.time
         self.admission.admit(tenant)
         degraded = False
+        build_kwargs: dict = {}
         if self.overload is not None and self.overload.degrades(tenant):
             cfg = self.overload.config
-            query = self.queries.build(
-                arrival.app,
-                pr_iterations=cfg.brownout_pr_iterations,
-                pr_tolerance_factor=cfg.brownout_tolerance_factor,
-            )
+            build_kwargs = {
+                "pr_iterations": cfg.brownout_pr_iterations,
+                "pr_tolerance_factor": cfg.brownout_tolerance_factor,
+            }
             # Only PageRank has a fidelity dial today; traversals run
             # full-fidelity even in brownout (they are shed or aborted
             # instead), so only mark what actually changed.
             degraded = arrival.app in ("pr", "pr30")
-            if degraded:
-                self.overload.note_degraded(tenant)
-        else:
-            query = self.queries.build(arrival.app)
+        # Result cache: fingerprint the query the build would produce
+        # (the *effective*, post-brownout parameters — a degraded run
+        # can only ever be answered by an equally degraded deposit) and
+        # answer a repeat at admission time without running an engine.
+        fingerprint: Optional[str] = None
+        scope_key = RESULT_SCOPE_SHARED
+        if self.result_cache is not None:
+            policy = self.tenants[tenant].result_cache
+            if policy != "off":
+                if policy == "private":
+                    scope_key = tenant
+                fingerprint = self.queries.fingerprint(
+                    arrival.app, **build_kwargs
+                )
+                cached = self.result_cache.lookup(scope_key, fingerprint, start)
+                if cached is not None:
+                    if degraded:
+                        self.overload.note_degraded(tenant)
+                    self.admission.release(tenant)
+                    self._finalize_cached(
+                        arrival, start, cached, free_at, degraded
+                    )
+                    return
+        query = self.queries.build(arrival.app, **build_kwargs)
+        if degraded:
+            self.overload.note_degraded(tenant)
         engine = GraphEngine(
             query.image,
             safs=self.safs,
@@ -797,25 +960,135 @@ class GraphService:
                 engine=engine,
                 job=job,
                 degraded=degraded,
+                fingerprint=fingerprint,
+                scope_key=scope_key,
             )
         )
+
+    def _finalize_cached(
+        self,
+        arrival: Arrival,
+        start: float,
+        cached,
+        free_at: Dict[str, float],
+        degraded: bool,
+    ) -> None:
+        """Book a result-cache answer: all of ``_finalize``'s telemetry,
+        none of the engine.  The query holds its tenant slot only for
+        the (near-zero) hit cost, reads zero bytes, and reuses the
+        deposited output vector verbatim."""
+        tenant = arrival.tenant
+        finish = start + self.config.result_cache_cost_s
+        free_at[tenant] = max(free_at[tenant], finish)
+        result = RunResult(
+            runtime=finish - start,
+            iterations=cached.iterations,
+            cpu_busy=0.0,
+            cpu_utilization=0.0,
+            bytes_read=0.0,
+            io_throughput=0.0,
+            io_utilization=0.0,
+            cache_hit_rate=0.0,
+            counters={},
+        )
+        record = JobRecord(
+            tenant=tenant,
+            app=arrival.app,
+            arrival_time=arrival.time,
+            start_time=start,
+            finish_time=finish,
+            ok=True,
+            iterations=cached.iterations,
+            result=result,
+            values=cached.values,
+            degraded=degraded,
+            index=arrival.index,
+            result_cached=True,
+        )
+        telemetry = self.telemetry
+        telemetry.records.append(record)
+        telemetry.completed += 1
+        self.result_cache.hits_by_tenant[tenant] = (
+            self.result_cache.hits_by_tenant.get(tenant, 0) + 1
+        )
+        report = telemetry.reports[tenant]
+        report.jobs += 1
+        report.result_cache_hits += 1
+        report.latencies.append(record.latency)
+        report.queue_waits.append(record.queue_wait)
+        self.stats.observe(
+            f"{reg.HIST_SERVE_QUERY_SECONDS}.{tenant}",
+            record.latency,
+            reg.histogram_bounds(reg.HIST_SERVE_QUERY_SECONDS),
+        )
+        self.stats.observe(
+            f"{reg.HIST_SERVE_QUEUE_WAIT_SECONDS}.{tenant}",
+            record.queue_wait,
+            reg.histogram_bounds(reg.HIST_SERVE_QUEUE_WAIT_SECONDS),
+        )
+        if self.slo is not None:
+            self.slo.record(tenant, finish, "completed", record.latency)
+        if self.timeline is not None:
+            self.timeline.note_completion(tenant, finish, record.latency, True)
+        if self.observer is not None:
+            context = _query_context(arrival)
+            self.observer.note_query_event(
+                "admitted",
+                start,
+                context,
+                queue_wait=start - arrival.time,
+                degraded=degraded,
+                cached=True,
+            )
+            self.observer.note_query_event(
+                "completed",
+                finish,
+                context,
+                latency=record.latency,
+                iterations=cached.iterations,
+                cached=True,
+            )
 
     # ------------------------------------------------------------------
     # Job stepping
     # ------------------------------------------------------------------
 
     def _step(self, run: _Running) -> bool:
-        """One iteration of ``run``'s job, tagged with its tenant."""
+        """One iteration of ``run``'s job, tagged with its tenant.
+
+        When read sharing is on and the tenant participates, the shared
+        :class:`InflightReadRegistry` is attached to the scheduler for
+        exactly this step, so only sharing tenants' dispatches attach to
+        (or publish) in-flight fetches.  Job steps are serialized on the
+        wall clock, so counter deltas taken around the step attribute
+        this job's own array bytes and dedup activity exactly — plain
+        reads, never a counter write, so bit-identity is untouched.
+        """
         scheduler = self.safs.scheduler
-        scheduler.tenant = run.arrival.tenant
-        self.accountant.current = run.arrival.tenant
+        tenant = run.arrival.tenant
+        scheduler.tenant = tenant
+        self.accountant.current = tenant
+        stats = self.stats
+        if self.inflight is not None and self.tenants[tenant].share_reads:
+            scheduler.inflight = self.inflight
+        base_bytes = stats.get(reg.ARRAY_BYTES_READ)
+        base_dedup_pages = stats.get(reg.SAFS_DEDUP_PAGES)
+        base_dedup_waits = stats.get(reg.SAFS_DEDUP_WAITS)
         try:
             return run.job.step()
         except IterationAborted as exc:
             run.aborted = exc
             return False
         finally:
+            run.bytes_read += stats.get(reg.ARRAY_BYTES_READ) - base_bytes
+            run.dedup_pages += (
+                stats.get(reg.SAFS_DEDUP_PAGES) - base_dedup_pages
+            )
+            run.dedup_waits += (
+                stats.get(reg.SAFS_DEDUP_WAITS) - base_dedup_waits
+            )
             scheduler.tenant = None
+            scheduler.inflight = None
             self.accountant.current = None
 
     def _finalize(
@@ -849,7 +1122,22 @@ class GraphService:
             abort_reason=reason,
             degraded=run.degraded,
             index=run.arrival.index,
+            bytes_read=run.bytes_read,
+            dedup_pages=run.dedup_pages,
+            dedup_waits=run.dedup_waits,
         )
+        if ok and self.result_cache is not None and run.fingerprint is not None:
+            # Deposit a copy: the program's arrays stay mutable, the
+            # cached vector must not.
+            self.result_cache.insert(
+                run.scope_key,
+                run.fingerprint,
+                values=np.array(record.values, copy=True),
+                iterations=result.iterations,
+                app=run.arrival.app,
+                now=finish,
+                source_index=run.arrival.index,
+            )
         report = reports[tenant]
         report.jobs += 1
         if not ok:
@@ -913,6 +1201,25 @@ class GraphService:
             stats.add(
                 f"{reg.SERVE_TENANT_QUOTA_WAITS}.{name}",
                 self.admission.quota_waits[name],
+            )
+        if self.result_cache is not None:
+            cache = self.result_cache
+            stats.add(reg.SERVE_RESULT_CACHE_HITS_TOTAL, cache.hits)
+            stats.add(reg.SERVE_RESULT_CACHE_MISSES_TOTAL, cache.misses)
+            stats.add(reg.SERVE_RESULT_CACHE_INSERTIONS_TOTAL, cache.insertions)
+            stats.add(
+                reg.SERVE_RESULT_CACHE_EXPIRATIONS_TOTAL, cache.expirations
+            )
+            for name in sorted(self.tenants):
+                stats.add(
+                    f"{reg.SERVE_RESULT_CACHE_HITS}.{name}",
+                    cache.hits_by_tenant.get(name, 0),
+                )
+        if self.rebalancer is not None:
+            stats.add(reg.SERVE_CACHE_REBALANCES, self.rebalancer.moves)
+            stats.add(reg.SERVE_CACHE_PAGES_MOVED, self.rebalancer.pages_moved)
+            stats.add(
+                reg.SERVE_CACHE_REBALANCE_EVICTIONS, self.rebalancer.evictions
             )
         if self.overload is not None:
             overload = self.overload

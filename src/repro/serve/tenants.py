@@ -49,6 +49,17 @@ class TenantSpec:
     #: Availability objective: the fraction of offered queries that must
     #: be *served* (not shed, not aborted).  ``None`` declares none.
     slo_availability: Optional[float] = None
+    #: Cross-query I/O sharing: whether this tenant's jobs participate
+    #: in in-flight read dedup (attach to — and publish — outstanding
+    #: device fetches).  Effective only when the service enables
+    #: ``ServiceConfig.share_reads``; an isolation-sensitive tenant can
+    #: opt out here even then (see docs/io_sharing.md).
+    share_reads: bool = True
+    #: Result-cache sharing policy: ``"shared"`` reads/writes the
+    #: communal scope, ``"private"`` a tenant-local scope, ``"off"``
+    #: opts out.  Effective only when ``ServiceConfig.result_cache`` is
+    #: enabled.
+    result_cache: str = "shared"
 
     def __post_init__(self) -> None:
         if not self.name or "." in self.name:
@@ -74,6 +85,11 @@ class TenantSpec:
             0.0 < self.slo_availability < 1.0
         ):
             raise ValueError("slo_availability must lie in (0, 1)")
+        if self.result_cache not in ("shared", "private", "off"):
+            raise ValueError(
+                f"unknown result_cache policy {self.result_cache!r} "
+                "(one of shared, private, off)"
+            )
 
     @property
     def slo_objectives(self) -> Dict[str, Tuple[float, float]]:

@@ -1,0 +1,197 @@
+"""Adaptive tenant cache sizing: the ghost-LRU driven rebalancer.
+
+Unit-level policy semantics (capacity moves toward the best marginal
+ghost-hit rate, floors are never crossed, decisions are deterministic)
+plus the service-level wiring: a skewed two-tenant run shifts capacity
+to the hot tenant, gauges land in the stats series, and the run stays
+byte-identical across same-seed replays (``docs/io_sharing.md``).
+"""
+
+import pytest
+
+from repro.bench.datasets import load_dataset
+from repro.safs.page import Page
+from repro.safs.page_cache import PageCache, PageCacheConfig
+from repro.serve import (
+    CacheRebalanceConfig,
+    CacheRebalancer,
+    GraphService,
+    ServiceConfig,
+    TenantSpec,
+    TenantTraffic,
+    generate_trace,
+)
+
+PAGE = 4096
+
+
+@pytest.fixture(scope="module")
+def image():
+    return load_dataset("twitter-sim")
+
+
+def small_cache():
+    # 8 pages, associativity 4 -> 2 sets of 4.
+    return PageCache(PageCacheConfig(capacity_bytes=8 * PAGE, associativity=4))
+
+
+def thrash(cache, file_id, pages):
+    """Insert ``pages`` distinct pages then re-probe the early ones:
+    evicted keys land on the ghost list and the probes score ghost
+    hits — the 'would have hit with more capacity' signal."""
+    for page_no in range(pages):
+        cache.lookup(file_id, page_no)
+        cache.insert(Page(file_id, page_no, b""))
+    for page_no in range(pages):
+        cache.lookup(file_id, page_no)
+
+
+class TestRebalancerUnit:
+    def test_needs_two_partitions(self):
+        with pytest.raises(ValueError):
+            CacheRebalancer({"only": small_cache()})
+
+    def test_capacity_moves_toward_ghost_hits(self):
+        hot, cold = small_cache(), small_cache()
+        rebalancer = CacheRebalancer(
+            {"hot": hot, "cold": cold},
+            CacheRebalanceConfig(interval_s=0.01),
+        )
+        thrash(hot, 0, 24)
+        cold.lookup(1, 0)  # active but never ghost-hitting
+        rebalancer.note_time(0.01)
+        assert rebalancer.moves == 1
+        assert hot._set_cap == 5 and cold._set_cap == 3
+        assert rebalancer.pages_moved == cold.config.num_sets
+        assert rebalancer.log[0]["donor"] == "cold"
+        assert rebalancer.log[0]["receiver"] == "hot"
+
+    def test_floor_is_never_crossed(self):
+        hot, cold = small_cache(), small_cache()
+        rebalancer = CacheRebalancer(
+            {"hot": hot, "cold": cold},
+            CacheRebalanceConfig(interval_s=0.01, floor_fraction=0.5),
+        )
+        floor = rebalancer._floor["cold"]
+        for window in range(1, 20):
+            thrash(hot, 0, 24)
+            rebalancer.note_time(window * 0.01)
+        assert cold._set_cap >= floor
+        # Stalls once the donor bottoms out: total capacity conserved.
+        assert hot._set_cap + cold._set_cap == 8
+
+    def test_no_move_without_benefit(self):
+        a, b = small_cache(), small_cache()
+        rebalancer = CacheRebalancer(
+            {"a": a, "b": b}, CacheRebalanceConfig(interval_s=0.01)
+        )
+        # Fits in capacity: lookups but zero ghost hits.
+        for page_no in range(4):
+            a.lookup(0, page_no)
+            a.insert(Page(0, page_no, b""))
+        rebalancer.note_time(0.01)
+        assert rebalancer.moves == 0
+
+    def test_shrink_evictions_feed_ghost(self):
+        a, b = small_cache(), small_cache()
+        rebalancer = CacheRebalancer(
+            {"a": a, "b": b}, CacheRebalanceConfig(interval_s=0.01)
+        )
+        for page_no in range(8):
+            b.insert(Page(0, page_no, b""))
+        thrash(a, 1, 24)
+        rebalancer.note_time(0.01)
+        assert rebalancer.moves == 1
+        assert rebalancer.evictions > 0
+        assert len(b) <= b.set_capacity_pages
+
+    def test_decisions_are_deterministic(self):
+        def run():
+            hot, cold = small_cache(), small_cache()
+            rebalancer = CacheRebalancer(
+                {"hot": hot, "cold": cold},
+                CacheRebalanceConfig(interval_s=0.01),
+            )
+            for window in range(1, 6):
+                thrash(hot, 0, 24)
+                thrash(cold, 1, 6)
+                rebalancer.note_time(window * 0.01)
+            return rebalancer.log
+
+        assert run() == run()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheRebalanceConfig(interval_s=0.0)
+        with pytest.raises(ValueError):
+            CacheRebalanceConfig(floor_fraction=0.0)
+        with pytest.raises(ValueError):
+            CacheRebalanceConfig(step_sets=0)
+
+
+def skewed_service(image, **config_kw):
+    tenants = [
+        TenantSpec(name="hot", max_concurrent=2, cache_bytes=1 << 18),
+        TenantSpec(name="cold", max_concurrent=2, cache_bytes=1 << 18),
+    ]
+    traffics = [
+        TenantTraffic(tenant="hot", rate_qps=100.0, apps=("pr", "wcc")),
+        TenantTraffic(tenant="cold", rate_qps=10.0, apps=("bfs",)),
+    ]
+    service = GraphService(
+        image,
+        tenants,
+        ServiceConfig(
+            policy="fair",
+            cache_rebalance=True,
+            cache_rebalance_interval_s=0.005,
+            **config_kw,
+        ),
+    )
+    trace = generate_trace(traffics, 0.1, seed=11)
+    return service, trace
+
+
+class TestServiceRebalance:
+    def test_needs_two_partitions(self, image):
+        with pytest.raises(ValueError):
+            GraphService(
+                image,
+                [TenantSpec(name="solo", max_concurrent=1)],
+                ServiceConfig(cache_rebalance=True),
+            )
+
+    def test_hot_tenant_gains_capacity(self, image):
+        service, trace = skewed_service(image)
+        report = service.serve(trace)
+        summary = report.sharing["rebalancer"]
+        assert summary["moves"] > 0
+        assert summary["pages_moved"] > 0
+        caps = summary["set_capacities"]
+        assert caps["hot"] > caps["cold"]
+        assert caps["cold"] >= summary["floors"]["cold"]
+        assert service.stats.get("serve.cache_rebalances") == summary["moves"]
+
+    def test_share_gauges_are_sampled(self, image):
+        service, trace = skewed_service(image)
+        service.serve(trace)
+        for name in ("hot", "cold"):
+            series = service.stats.series(f"serve.cache_share.{name}")
+            assert series, f"no cache_share samples for {name}"
+            times = [t for t, _ in series]
+            assert times == sorted(times)
+        # Shares always sum to 1 across the two partitions.
+        hot = dict(service.stats.series("serve.cache_share.hot"))
+        cold = dict(service.stats.series("serve.cache_share.cold"))
+        for t in hot:
+            if t in cold:
+                assert hot[t] + cold[t] == pytest.approx(1.0)
+
+    def test_same_seed_runs_identical(self, image):
+        service_a, trace_a = skewed_service(image)
+        report_a = service_a.serve(trace_a)
+        service_b, trace_b = skewed_service(image)
+        report_b = service_b.serve(trace_b)
+        assert service_a.rebalancer.log == service_b.rebalancer.log
+        assert report_a.to_dict() == report_b.to_dict()
+        assert service_a.stats.snapshot() == service_b.stats.snapshot()
